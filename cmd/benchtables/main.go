@@ -1,0 +1,193 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation section:
+//
+//	Tables 1a-1c  Y-MP C90 wall clock / CPU seconds / MFlops, 1-16 CPUs
+//	Tables 2a-2c  Touchstone Delta comm/comp/total seconds and MFlops,
+//	              256 and 512 nodes
+//	Figure 1      multigrid V- and W-cycle structures
+//	Figure 2      convergence histories (single grid vs V vs W)
+//	Figure 3      multigrid mesh sequence statistics
+//	Figure 4      Mach contours of the converged transonic solution
+//
+// By default all experiments run at a reduced scale (see DESIGN.md);
+// -scale multiplies the linear mesh resolution. Results print to stdout;
+// -outdir additionally writes CSV/text artifacts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"eul3d/internal/machine"
+	"eul3d/internal/partition"
+	"eul3d/internal/tables"
+)
+
+func main() {
+	var (
+		only   = flag.String("only", "", "run a single experiment: 1a,1b,1c,2a,2b,2c,fig1,fig2,fig3,fig4,claims,t2s (default: all; t2s only on request)")
+		scale  = flag.Float64("scale", 1, "linear mesh-resolution multiplier for the tables")
+		cycles = flag.Int("cycles", 0, "override cycle count (0 = paper's 100 for tables, 300 for figures)")
+		outdir = flag.String("outdir", "", "directory for CSV/text artifacts (optional)")
+		nodes  = flag.String("nodes", "256,512", "comma-separated Delta node counts for Tables 2a-2c")
+	)
+	flag.Parse()
+
+	want := func(id string) bool { return *only == "" || *only == id }
+	emit := func(name, content string) {
+		fmt.Println(content)
+		if *outdir != "" {
+			if err := os.MkdirAll(*outdir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*outdir, name), []byte(content), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	cfg := tables.DefaultConfig().Scale(*scale)
+	if *cycles > 0 {
+		cfg.Cycles = *cycles
+	}
+
+	var nodeCounts []int
+	for _, s := range strings.Split(*nodes, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &n); err != nil {
+			log.Fatalf("benchtables: bad -nodes entry %q", s)
+		}
+		nodeCounts = append(nodeCounts, n)
+	}
+
+	type tableSpec struct {
+		id       string
+		strategy tables.Strategy
+	}
+	t1 := []tableSpec{{"1a", tables.SingleGrid}, {"1b", tables.VCycle}, {"1c", tables.WCycle}}
+	for _, ts := range t1 {
+		if !want(ts.id) {
+			continue
+		}
+		start := time.Now()
+		t, err := tables.Table1(cfg, ts.strategy, &machine.C90)
+		if err != nil {
+			log.Fatalf("table %s: %v", ts.id, err)
+		}
+		body := fmt.Sprintf("Table %s: %sspeedup@16 = %.1f, CPU-time inflation @16 = %.1f%%  (generated in %v)\n",
+			ts.id, t.String(), t.Speedup(), 100*t.CPUInflation(), time.Since(start).Round(time.Millisecond))
+		emit("table"+ts.id+".txt", body)
+	}
+
+	t2 := []tableSpec{{"2a", tables.SingleGrid}, {"2b", tables.VCycle}, {"2c", tables.WCycle}}
+	for _, ts := range t2 {
+		if !want(ts.id) {
+			continue
+		}
+		start := time.Now()
+		t, err := tables.Table2(cfg, ts.strategy, nodeCounts, partition.Spectral, &machine.Delta)
+		if err != nil {
+			log.Fatalf("table %s: %v", ts.id, err)
+		}
+		body := fmt.Sprintf("Table %s: %s(generated in %v)\n", ts.id, t.String(), time.Since(start).Round(time.Millisecond))
+		emit("table"+ts.id+".txt", body)
+	}
+
+	if want("fig1") {
+		emit("figure1.txt", "Figure 1:\n"+tables.Figure1())
+	}
+
+	var fig2 *tables.Figure2Result
+	if want("fig2") || want("fig4") {
+		fcfg := tables.Figure2Config()
+		if *cycles > 0 {
+			fcfg.Cycles = *cycles
+		}
+		start := time.Now()
+		var err error
+		fig2, err = tables.Figure2(fcfg)
+		if err != nil {
+			log.Fatalf("figure 2: %v", err)
+		}
+		if want("fig2") {
+			var b strings.Builder
+			fmt.Fprintf(&b, "Figure 2: convergence over %d cycles (fine mesh %dx%dx%d cells, M=%.3f, alpha=%.3f)\n",
+				fcfg.Cycles, fcfg.NX, fcfg.NY, fcfg.NZ, fcfg.Mach, fcfg.AlphaDeg)
+			for _, name := range []string{"single grid", "multigrid V cycle", "multigrid W cycle"} {
+				fmt.Fprintf(&b, "  %-18s residual reduced %.1f orders of magnitude (%.2f work units/cycle)\n",
+					name, fig2.OrdersReduced(name), fig2.WorkUnit[name])
+			}
+			fmt.Fprintf(&b, "(generated in %v)\n", time.Since(start).Round(time.Millisecond))
+			emit("figure2.txt", b.String())
+			if *outdir != "" {
+				if err := os.WriteFile(filepath.Join(*outdir, "figure2.csv"), []byte(fig2.CSV()), 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	if want("fig3") {
+		s, err := tables.Figure3(cfg)
+		if err != nil {
+			log.Fatalf("figure 3: %v", err)
+		}
+		emit("figure3.txt", "Figure 3:\n"+s)
+	}
+
+	if *only == "t2s" { // expensive: runs Figure 2 plus all six tables
+		// Time-to-solution headline: cycle counts from a convergence study
+		// at the full table scale (the single-grid cycle count is strongly
+		// size-dependent), per-cycle seconds from the machine-model tables.
+		fcfg := cfg
+		fcfg.Cycles = 300
+		if *cycles > 0 {
+			fcfg.Cycles = *cycles
+		}
+		f2, err := tables.Figure2(fcfg)
+		if err != nil {
+			log.Fatalf("t2s: %v", err)
+		}
+		t1 := map[tables.Strategy]*tables.C90Table{}
+		t2 := map[tables.Strategy]*tables.DeltaTable{}
+		for _, st := range []tables.Strategy{tables.SingleGrid, tables.VCycle, tables.WCycle} {
+			a, err := tables.Table1(cfg, st, &machine.C90)
+			if err != nil {
+				log.Fatalf("t2s: %v", err)
+			}
+			t1[st] = a
+			b, err := tables.Table2(cfg, st, nodeCounts[len(nodeCounts)-1:], partition.Spectral, &machine.Delta)
+			if err != nil {
+				log.Fatalf("t2s: %v", err)
+			}
+			t2[st] = b
+		}
+		tts := tables.ComputeTimeToSolution(f2, 6, t1, t2)
+		emit("time_to_solution.txt", tts.String())
+	}
+
+	if want("claims") {
+		start := time.Now()
+		c, err := tables.MeasureClaims(tables.ClaimsConfig(), 64)
+		if err != nil {
+			log.Fatalf("claims: %v", err)
+		}
+		emit("claims.txt", c.String()+fmt.Sprintf("(generated in %v)\n", time.Since(start).Round(time.Millisecond)))
+	}
+
+	if want("fig4") {
+		f := tables.Figure4(fig2.WSolver, 78, 24)
+		body := "Figure 4: Mach contours on the mid-span plane\n" + f.ASCII()
+		emit("figure4.txt", body)
+		if *outdir != "" {
+			if err := os.WriteFile(filepath.Join(*outdir, "figure4.csv"), []byte(f.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

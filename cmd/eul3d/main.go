@@ -1,0 +1,185 @@
+// Command eul3d is the end-to-end flow solver: it generates the transonic
+// bump-channel mesh sequence, runs the selected solution strategy (single
+// grid, multigrid V-cycle or W-cycle) and reports the convergence history
+// and flow-field summary.
+//
+// Usage:
+//
+//	eul3d -nx 32 -ny 16 -nz 12 -levels 4 -strategy w -mach 0.768 -alpha 1.116 -cycles 300
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+	"eul3d/internal/meshgen"
+	"eul3d/internal/meshio"
+	"eul3d/internal/solver"
+	"eul3d/internal/tables"
+)
+
+func main() {
+	var (
+		nx       = flag.Int("nx", 32, "fine-mesh cells in x")
+		ny       = flag.Int("ny", 16, "fine-mesh cells in y")
+		nz       = flag.Int("nz", 12, "fine-mesh cells in z")
+		levels   = flag.Int("levels", 4, "multigrid levels (ignored for -strategy single)")
+		strategy = flag.String("strategy", "w", "solution strategy: single, v or w")
+		mach     = flag.Float64("mach", 0.768, "freestream Mach number")
+		alpha    = flag.Float64("alpha", 1.116, "angle of attack in degrees")
+		cycles   = flag.Int("cycles", 300, "maximum solver cycles")
+		tol      = flag.Float64("tol", 1e-6, "relative residual tolerance (0 = run all cycles)")
+		seed     = flag.Int64("seed", 17, "mesh jitter seed")
+		logEvery = flag.Int("log-every", 25, "cycles between progress lines (0 = silent)")
+		contours = flag.Bool("contours", false, "print ASCII Mach contours of the final solution")
+		meshPfx  = flag.String("mesh-prefix", "", "load meshes from <prefix>.L<level>.mesh (see cmd/meshgen) instead of generating")
+		saveSol  = flag.String("save-solution", "", "write the converged fine-grid solution to this file")
+		saveVTK  = flag.String("save-vtk", "", "write mesh + solution as a legacy VTK file (ParaView)")
+		initSol  = flag.String("init-solution", "", "warm-start from a saved solution file")
+		fmg      = flag.Int("fmg", 0, "full-multigrid initialization: cycles per coarse level (0 = off)")
+		history  = flag.String("history", "", "write the residual history as CSV to this file")
+	)
+	flag.Parse()
+
+	p := euler.DefaultParams(*mach, *alpha)
+	spec := meshgen.DefaultChannel(*nx, *ny, *nz, *seed)
+
+	loadSeq := func(levels int) ([]*mesh.Mesh, error) {
+		if *meshPfx == "" {
+			return meshgen.Sequence(spec, levels)
+		}
+		out := make([]*mesh.Mesh, levels)
+		for l := 0; l < levels; l++ {
+			m, err := meshio.LoadMesh(fmt.Sprintf("%s.L%d.mesh", *meshPfx, l))
+			if err != nil {
+				return nil, err
+			}
+			out[l] = m
+		}
+		return out, nil
+	}
+
+	var st *solver.Steady
+	switch *strategy {
+	case "single":
+		seq, err := loadSeq(1)
+		if err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		m := seq[0]
+		fmt.Printf("mesh: %d points, %d tetrahedra, %d edges\n", m.NV(), m.NT(), m.NE())
+		st = solver.NewSingleGrid(m, p)
+	case "v", "w":
+		seq, err := loadSeq(*levels)
+		if err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		for l, m := range seq {
+			fmt.Printf("level %d: %d points, %d tetrahedra, %d edges\n", l, m.NV(), m.NT(), m.NE())
+		}
+		gamma := 1
+		if *strategy == "w" {
+			gamma = 2
+		}
+		var err2 error
+		st, err2 = solver.NewMultigrid(seq, p, gamma)
+		if err2 != nil {
+			log.Fatalf("eul3d: %v", err2)
+		}
+		fmt.Printf("multigrid: %d levels, %s-cycle, %.2f work units per cycle, %.0f%% memory overhead\n",
+			*levels, *strategy, st.MG.WorkUnits(), 100*st.MG.MemoryOverhead())
+	default:
+		log.Fatalf("eul3d: unknown strategy %q (want single, v or w)", *strategy)
+	}
+
+	if *fmg > 0 {
+		if st.MG == nil {
+			log.Fatalf("eul3d: -fmg requires a multigrid strategy")
+		}
+		st.MG.FMGInit(*fmg)
+		fmt.Printf("full-multigrid initialization: %d cycles per coarse level\n", *fmg)
+	}
+	if *initSol != "" {
+		_, _, w0, err := meshio.LoadSolution(*initSol)
+		if err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		if err := st.SetInitial(w0); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		fmt.Printf("warm start from %s\n", *initSol)
+	}
+
+	res, err := st.Run(solver.Options{
+		MaxCycles: *cycles,
+		Tolerance: *tol,
+		LogEvery:  *logEvery,
+		Log:       os.Stdout,
+	})
+	if err != nil {
+		log.Fatalf("eul3d: %v", err)
+	}
+	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
+		res.Cycles, res.InitialNorm, res.FinalNorm, res.Ordersof10)
+	if res.Converged {
+		fmt.Printf(" [converged]")
+	}
+	fmt.Println()
+
+	g := p.Gas
+	maxM := 0.0
+	for _, w := range res.FineSolution {
+		if m := g.Mach(w); m > maxM {
+			maxM = m
+		}
+	}
+	fmt.Printf("max local Mach number: %.3f\n", maxM)
+
+	if *history != "" {
+		var b strings.Builder
+		b.WriteString("cycle,residual\n")
+		for c, n := range res.History {
+			fmt.Fprintf(&b, "%d,%.8e\n", c, n)
+		}
+		if err := os.WriteFile(*history, []byte(b.String()), 0o644); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		fmt.Printf("history written to %s\n", *history)
+	}
+	if *saveSol != "" {
+		if err := meshio.SaveSolution(*saveSol, *mach, *alpha, res.FineSolution); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		fmt.Printf("solution written to %s\n", *saveSol)
+	}
+	if *saveVTK != "" {
+		var fineMesh *mesh.Mesh
+		if st.MG != nil {
+			fineMesh = st.MG.Fine().Disc.M
+		} else {
+			// Single grid: the solution indexes the generated/loaded mesh.
+			seq, err := loadSeq(1)
+			if err != nil {
+				log.Fatalf("eul3d: %v", err)
+			}
+			fineMesh = seq[0]
+		}
+		if err := meshio.SaveVTK(*saveVTK, fineMesh, p.Gas, res.FineSolution, "", nil); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		fmt.Printf("VTK written to %s\n", *saveVTK)
+	}
+
+	if *contours && st.MG != nil {
+		f := tables.Figure4(st.MG, 78, 24)
+		fmt.Println("\nMach contours on the mid-span plane:")
+		fmt.Print(f.ASCII())
+	} else if *contours {
+		fmt.Println("(-contours requires a multigrid strategy)")
+	}
+}

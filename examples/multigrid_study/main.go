@@ -1,0 +1,92 @@
+// Multigrid study: rerun the Figure 2 experiment — convergence histories
+// of the single-grid scheme and the V- and W-cycle multigrid strategies on
+// the same fine mesh — and print the per-cycle work units and memory
+// overhead, reproducing the trade-off discussion of Sections 2.3 and 3.2.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/meshgen"
+	"eul3d/internal/multigrid"
+	"eul3d/internal/solver"
+)
+
+func main() {
+	const cycles = 250
+	spec := meshgen.DefaultChannel(32, 16, 12, 17)
+	params := euler.DefaultParams(0.675, 0)
+
+	type run struct {
+		name    string
+		history []float64
+		work    float64
+		mem     float64
+	}
+	var runs []run
+
+	// Single grid.
+	{
+		m, err := meshgen.Channel(spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := solver.NewSingleGrid(m, params)
+		res, err := st.Run(solver.Options{MaxCycles: cycles})
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, run{"single grid", res.History, 1, 0})
+	}
+
+	// V- and W-cycles over a 4-level non-nested sequence.
+	for _, gamma := range []int{1, 2} {
+		meshes, err := meshgen.Sequence(spec, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mg, err := multigrid.New(meshes, params, gamma)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := "V-cycle"
+		if gamma == 2 {
+			name = "W-cycle"
+		}
+		var hist []float64
+		for c := 0; c < cycles; c++ {
+			hist = append(hist, mg.Cycle())
+		}
+		runs = append(runs, run{name, hist, mg.WorkUnits(), mg.MemoryOverhead()})
+	}
+
+	fmt.Printf("convergence history (normalized density residual), %d cycles:\n\n", cycles)
+	fmt.Printf("%8s", "cycle")
+	for _, r := range runs {
+		fmt.Printf(" %14s", r.name)
+	}
+	fmt.Println()
+	for c := 0; c < cycles; c += 25 {
+		fmt.Printf("%8d", c)
+		for _, r := range runs {
+			fmt.Printf(" %14.3e", r.history[c]/r.history[0])
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nsummary:")
+	for _, r := range runs {
+		last := r.history[len(r.history)-1] / r.history[0]
+		orders := -math.Log10(last)
+		fmt.Printf("  %-12s %.1f orders reduced, %.2f work units/cycle", r.name, orders, r.work)
+		if r.mem > 0 {
+			fmt.Printf(", +%.0f%% memory", 100*r.mem)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe paper's headline (Section 2.3): both multigrid cycles buy close to")
+	fmt.Println("an order of magnitude in convergence for <2x the work per cycle.")
+}

@@ -1,0 +1,3 @@
+module eul3d
+
+go 1.22

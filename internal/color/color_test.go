@@ -1,0 +1,127 @@
+package color
+
+import (
+	"testing"
+
+	"eul3d/internal/meshgen"
+)
+
+func TestGreedyOnMesh(t *testing.T) {
+	m, err := meshgen.Channel(meshgen.DefaultChannel(8, 6, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Greedy(m.NV(), m.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(c, m.NV(), m.Edges); err != nil {
+		t.Fatal(err)
+	}
+	if nc := c.NumColors(); nc < 10 || nc > 64 {
+		t.Errorf("colors = %d, expected a few tens on a tet mesh", nc)
+	}
+	total := 0
+	for _, s := range c.GroupSizes() {
+		total += s
+	}
+	if total != m.NE() {
+		t.Errorf("group sizes sum to %d, want %d", total, m.NE())
+	}
+}
+
+func TestGreedySmall(t *testing.T) {
+	// Triangle: three mutually adjacent edges need three colors.
+	edges := [][2]int32{{0, 1}, {1, 2}, {0, 2}}
+	c, err := Greedy(3, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors() != 3 {
+		t.Errorf("triangle colors = %d, want 3", c.NumColors())
+	}
+	if err := Verify(c, 3, edges); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyStar(t *testing.T) {
+	// Star K(1,5): all edges share the hub, so five colors, one edge each.
+	edges := [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}}
+	c, err := Greedy(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors() != 5 {
+		t.Errorf("star colors = %d, want 5", c.NumColors())
+	}
+	for g := 0; g < 5; g++ {
+		if len(c.Group(g)) != 1 {
+			t.Errorf("group %d has %d edges", g, len(c.Group(g)))
+		}
+	}
+}
+
+func TestGreedyMatching(t *testing.T) {
+	// Disjoint edges form a matching: one color.
+	edges := [][2]int32{{0, 1}, {2, 3}, {4, 5}}
+	c, err := Greedy(6, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors() != 1 {
+		t.Errorf("matching colors = %d, want 1", c.NumColors())
+	}
+}
+
+func TestGreedyRejectsBadEdges(t *testing.T) {
+	if _, err := Greedy(3, [][2]int32{{0, 7}}); err == nil {
+		t.Error("accepted out-of-range edge")
+	}
+	if _, err := Greedy(3, [][2]int32{{1, 1}}); err == nil {
+		t.Error("accepted self-loop")
+	}
+}
+
+func TestGreedyManyColors(t *testing.T) {
+	// A star with 100 leaves exercises the >=64-color fallback path.
+	n := 101
+	edges := make([][2]int32, 100)
+	for i := range edges {
+		edges[i] = [2]int32{0, int32(i + 1)}
+	}
+	c, err := Greedy(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumColors() != 100 {
+		t.Errorf("colors = %d, want 100", c.NumColors())
+	}
+	if err := Verify(c, n, edges); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {1, 2}}
+	// Both edges in one group share vertex 1.
+	bad := &Coloring{Order: []int32{0, 1}, Start: []int32{0, 2}}
+	if err := Verify(bad, 3, edges); err == nil {
+		t.Error("Verify accepted a conflicting group")
+	}
+	// Duplicated edge index.
+	dup := &Coloring{Order: []int32{0, 0}, Start: []int32{0, 1, 2}}
+	if err := Verify(dup, 3, edges); err == nil {
+		t.Error("Verify accepted duplicate edge")
+	}
+	// Wrong length.
+	short := &Coloring{Order: []int32{0}, Start: []int32{0, 1}}
+	if err := Verify(short, 3, edges); err == nil {
+		t.Error("Verify accepted short order")
+	}
+	// Out-of-range edge index.
+	oor := &Coloring{Order: []int32{0, 5}, Start: []int32{0, 1, 2}}
+	if err := Verify(oor, 3, edges); err == nil {
+		t.Error("Verify accepted out-of-range index")
+	}
+}

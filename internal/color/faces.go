@@ -1,0 +1,105 @@
+package color
+
+import "fmt"
+
+// GreedyFaces colors boundary triangles so that within a group no two
+// faces share a vertex — the boundary-loop analogue of the edge coloring,
+// needed because the boundary flux scatters to all three face vertices.
+func GreedyFaces(nv int, faces [][3]int32) (*Coloring, error) {
+	type vertexColors struct {
+		mask uint64
+		ext  []int32
+	}
+	vc := make([]vertexColors, nv)
+	has := func(v, c int32) bool {
+		if c < 64 {
+			return vc[v].mask&(1<<uint(c)) != 0
+		}
+		for _, e := range vc[v].ext {
+			if e == c {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(v, c int32) {
+		if c < 64 {
+			vc[v].mask |= 1 << uint(c)
+		} else {
+			vc[v].ext = append(vc[v].ext, c)
+		}
+	}
+
+	colorOf := make([]int32, len(faces))
+	maxColor := int32(-1)
+	for fi, f := range faces {
+		for _, v := range f {
+			if v < 0 || int(v) >= nv {
+				return nil, fmt.Errorf("color: face %d vertex %d out of range [0,%d)", fi, v, nv)
+			}
+		}
+		if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+			return nil, fmt.Errorf("color: face %d has repeated vertices", fi)
+		}
+		c := int32(0)
+		for has(f[0], c) || has(f[1], c) || has(f[2], c) {
+			c++
+		}
+		colorOf[fi] = c
+		for _, v := range f {
+			add(v, c)
+		}
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+
+	nc := int(maxColor + 1)
+	start := make([]int32, nc+1)
+	for _, c := range colorOf {
+		start[c+1]++
+	}
+	for g := 0; g < nc; g++ {
+		start[g+1] += start[g]
+	}
+	order := make([]int32, len(faces))
+	fill := make([]int32, nc)
+	for fi, c := range colorOf {
+		order[start[c]+fill[c]] = int32(fi)
+		fill[c]++
+	}
+	return &Coloring{Order: order, Start: start}, nil
+}
+
+// VerifyFaces checks that no two faces within a group share a vertex and
+// the coloring is a permutation of the face list.
+func VerifyFaces(c *Coloring, nv int, faces [][3]int32) error {
+	if len(c.Order) != len(faces) {
+		return fmt.Errorf("color: order length %d != face count %d", len(c.Order), len(faces))
+	}
+	seen := make([]bool, len(faces))
+	for _, fi := range c.Order {
+		if fi < 0 || int(fi) >= len(faces) {
+			return fmt.Errorf("color: face index %d out of range", fi)
+		}
+		if seen[fi] {
+			return fmt.Errorf("color: face %d appears twice", fi)
+		}
+		seen[fi] = true
+	}
+	touched := make([]int32, nv)
+	for i := range touched {
+		touched[i] = -1
+	}
+	for g := 0; g < c.NumColors(); g++ {
+		for _, fi := range c.Group(g) {
+			for _, v := range faces[fi] {
+				if touched[v] == int32(g) {
+					return fmt.Errorf("color: vertex %d touched twice in face group %d", v, g)
+				}
+				touched[v] = int32(g)
+			}
+		}
+	}
+	return nil
+}

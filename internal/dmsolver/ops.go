@@ -1,0 +1,539 @@
+package dmsolver
+
+import (
+	"math"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+)
+
+// This file holds the per-processor loop bodies (the "executor" side of
+// the inspector/executor transformation) and the sequential orchestration
+// that loops them over all processors with whole-schedule exchanges.
+// concurrent.go runs the same bodies with one goroutine per processor and
+// barrier-separated per-processor exchange halves; both modes produce
+// identical results.
+
+// ---- per-processor compute phases ----
+
+func (s *Solver) copyW0Proc(lev *Level, p int) {
+	copy(lev.W0[p][:lev.Dist.Count(p)], lev.W[p][:lev.Dist.Count(p)])
+}
+
+func (s *Solver) pressuresProc(lev *Level, p int) {
+	g := s.P.Gas
+	wp, pp := lev.W[p], lev.Pres[p]
+	for i := range wp {
+		pp[i] = g.Pressure(wp[i])
+	}
+}
+
+func zeroStatesProc(a []euler.State) {
+	for i := range a {
+		a[i] = euler.State{}
+	}
+}
+
+// convectiveProc assembles proc p's share of Q(w) into lev.Conv[p]
+// (including ghost accumulations, scatter-added by the orchestrator).
+func (s *Solver) convectiveProc(lev *Level, p int) {
+	zeroStatesProc(lev.Conv[p])
+	g := s.P.Gas
+	w, pres, conv := lev.W[p], lev.Pres[p], lev.Conv[p]
+	for e, ed := range lev.Edges[p] {
+		i, j := ed[0], ed[1]
+		n := lev.ENorm[p][e]
+		fi := euler.FluxDotN(w[i], pres[i], n.X, n.Y, n.Z)
+		fj := euler.FluxDotN(w[j], pres[j], n.X, n.Y, n.Z)
+		for k := 0; k < euler.NVar; k++ {
+			f := 0.5 * (fi[k] + fj[k])
+			conv[i][k] += f
+			conv[j][k] -= f
+		}
+	}
+	for bi := range lev.BFaces[p] {
+		f := &lev.BFaces[p][bi]
+		n := f.Normal
+		var flux euler.State
+		if f.Kind == mesh.FarField {
+			var wi euler.State
+			for k := 0; k < euler.NVar; k++ {
+				wi[k] = (w[f.V[0]][k] + w[f.V[1]][k] + w[f.V[2]][k]) / 3
+			}
+			wb := euler.FarFieldState(g, wi, s.P.Freestream, n)
+			flux = euler.FluxDotN(wb, g.Pressure(wb), n.X, n.Y, n.Z)
+		} else {
+			pf := (pres[f.V[0]] + pres[f.V[1]] + pres[f.V[2]]) / 3
+			flux = euler.State{0, pf * n.X, pf * n.Y, pf * n.Z, 0}
+		}
+		for k := 0; k < euler.NVar; k++ {
+			third := flux[k] / 3
+			conv[f.V[0]][k] += third
+			conv[f.V[1]][k] += third
+			conv[f.V[2]][k] += third
+		}
+	}
+}
+
+func (s *Solver) dissPass1Proc(lev *Level, p int) {
+	zeroStatesProc(lev.Lapl[p])
+	num, den := lev.Num[p], lev.Den[p]
+	for i := range num {
+		num[i] = 0
+		den[i] = 0
+	}
+	w, pres, lapl := lev.W[p], lev.Pres[p], lev.Lapl[p]
+	for _, ed := range lev.Edges[p] {
+		i, j := ed[0], ed[1]
+		for k := 0; k < euler.NVar; k++ {
+			dw := w[j][k] - w[i][k]
+			lapl[i][k] += dw
+			lapl[j][k] -= dw
+		}
+		dp := pres[j] - pres[i]
+		num[i] += dp
+		num[j] -= dp
+		sp := pres[j] + pres[i]
+		den[i] += sp
+		den[j] += sp
+	}
+}
+
+func (s *Solver) nuProc(lev *Level, p int) {
+	num, den := lev.Num[p], lev.Den[p]
+	for i := 0; i < lev.Dist.Count(p); i++ {
+		num[i] = math.Abs(num[i]) / den[i]
+	}
+}
+
+func (s *Solver) dissPass2Proc(lev *Level, p int) {
+	zeroStatesProc(lev.Diss[p])
+	g := s.P.Gas
+	k2, k4 := s.P.K2, s.P.K4
+	w, pres, nu := lev.W[p], lev.Pres[p], lev.Num[p]
+	lapl, diss := lev.Lapl[p], lev.Diss[p]
+	for e, ed := range lev.Edges[p] {
+		i, j := ed[0], ed[1]
+		lamE := euler.SpectralRadius(g, w[i], w[j], pres[i], pres[j], lev.ENorm[p][e])
+		eps2 := k2 * math.Max(nu[i], nu[j])
+		eps4 := math.Max(0, k4-eps2)
+		for k := 0; k < euler.NVar; k++ {
+			f := lamE * (eps2*(w[j][k]-w[i][k]) - eps4*(lapl[j][k]-lapl[i][k]))
+			diss[i][k] += f
+			diss[j][k] -= f
+		}
+	}
+}
+
+func (s *Solver) lamProc(lev *Level, p int) {
+	g := s.P.Gas
+	lam := lev.Lam[p]
+	for i := range lam {
+		lam[i] = 0
+	}
+	w, pres := lev.W[p], lev.Pres[p]
+	for e, ed := range lev.Edges[p] {
+		i, j := ed[0], ed[1]
+		lamE := euler.SpectralRadius(g, w[i], w[j], pres[i], pres[j], lev.ENorm[p][e])
+		lam[i] += lamE
+		lam[j] += lamE
+	}
+	for bi := range lev.BFaces[p] {
+		f := &lev.BFaces[p][bi]
+		n := f.Normal
+		for _, v := range f.V {
+			inv := 1 / w[v][0]
+			un := (w[v][1]*n.X + w[v][2]*n.Y + w[v][3]*n.Z) * inv
+			c := math.Sqrt(g.Gamma * pres[v] * inv)
+			lam[v] += (math.Abs(un) + c*n.Norm()) / 3
+		}
+	}
+}
+
+func (s *Solver) dtProc(lev *Level, p int) {
+	cfl := s.P.CFL
+	for i := 0; i < lev.Dist.Count(p); i++ {
+		lev.Dt[p][i] = cfl * lev.Vol[p][i] / lev.Lam[p][i]
+	}
+}
+
+func (s *Solver) combineResProc(lev *Level, p int, withForcing bool) {
+	for i := 0; i < lev.Dist.Count(p); i++ {
+		for k := 0; k < euler.NVar; k++ {
+			lev.Res[p][i][k] = lev.Conv[p][i][k] - lev.Diss[p][i][k]
+		}
+		if withForcing {
+			for k := 0; k < euler.NVar; k++ {
+				lev.Res[p][i][k] += lev.Forcing[p][i][k]
+			}
+		}
+	}
+}
+
+func (s *Solver) normPartialProc(lev *Level, p int) float64 {
+	sum := 0.0
+	for i := 0; i < lev.Dist.Count(p); i++ {
+		r := lev.Res[p][i][0] / lev.Vol[p][i]
+		sum += r * r
+	}
+	return sum
+}
+
+func (s *Solver) smoothRHSProc(lev *Level, p int, arr [][]euler.State) {
+	copy(lev.RHS[p][:lev.Dist.Count(p)], arr[p][:lev.Dist.Count(p)])
+}
+
+func (s *Solver) smoothAccumProc(lev *Level, p int, cur, next [][]euler.State) {
+	zeroStatesProc(next[p])
+	cp, np := cur[p], next[p]
+	for _, ed := range lev.Edges[p] {
+		i, j := ed[0], ed[1]
+		for k := 0; k < euler.NVar; k++ {
+			np[i][k] += cp[j][k]
+			np[j][k] += cp[i][k]
+		}
+	}
+}
+
+func (s *Solver) smoothCombineProc(lev *Level, p int, next [][]euler.State, eps float64) {
+	np, rp := next[p], lev.RHS[p]
+	for i := 0; i < lev.Dist.Count(p); i++ {
+		inv := 1 / (1 + eps*lev.Deg[p][i])
+		for k := 0; k < euler.NVar; k++ {
+			np[i][k] = (rp[i][k] + eps*np[i][k]) * inv
+		}
+	}
+}
+
+func (s *Solver) smoothWritebackProc(lev *Level, p int, arr, cur [][]euler.State) {
+	copy(arr[p][:lev.Dist.Count(p)], cur[p][:lev.Dist.Count(p)])
+}
+
+func (s *Solver) updateProc(lev *Level, p int, alpha float64) {
+	for i := 0; i < lev.Dist.Count(p); i++ {
+		f := alpha * lev.Dt[p][i] / lev.Vol[p][i]
+		var cand euler.State
+		for k := 0; k < euler.NVar; k++ {
+			cand[k] = lev.W0[p][i][k] - f*lev.Res[p][i][k]
+		}
+		if !s.P.Guard(cand) {
+			cand = lev.W0[p][i] // positivity guard, identical to euler.Step
+		}
+		lev.W[p][i] = cand
+	}
+}
+
+// ---- multigrid per-processor phases ----
+
+func (s *Solver) addForcingToResProc(lev *Level, p int) {
+	for i := 0; i < lev.Dist.Count(p); i++ {
+		for k := 0; k < euler.NVar; k++ {
+			lev.Res[p][i][k] += lev.Forcing[p][i][k]
+		}
+	}
+}
+
+func (s *Solver) restrictInterpProc(fine, coarse *Level, p int) {
+	for li := range coarse.RestrictAddr[p] {
+		a, wt := coarse.RestrictAddr[p][li], coarse.RestrictWt[p][li]
+		var v euler.State
+		for k := 0; k < 4; k++ {
+			src := fine.W[p][a[k]]
+			f := wt[k]
+			for c := 0; c < euler.NVar; c++ {
+				v[c] += f * src[c]
+			}
+		}
+		v = s.P.Repair(v) // interpolated pressure can go negative
+		coarse.W[p][li] = v
+		coarse.WSaved[p][li] = v
+	}
+}
+
+func (s *Solver) residualScatterProc(fine, coarse *Level, p int) {
+	zeroStatesProc(coarse.Forcing[p])
+	for li := range coarse.ProlongAddr[p] {
+		a, wt := coarse.ProlongAddr[p][li], coarse.ProlongWt[p][li]
+		rv := fine.Res[p][li]
+		for k := 0; k < 4; k++ {
+			f := wt[k]
+			dst := &coarse.Forcing[p][a[k]]
+			for c := 0; c < euler.NVar; c++ {
+				dst[c] += f * rv[c]
+			}
+		}
+	}
+}
+
+func (s *Solver) forcingCombineProc(coarse *Level, p int) {
+	for i := 0; i < coarse.Dist.Count(p); i++ {
+		for k := 0; k < euler.NVar; k++ {
+			coarse.Forcing[p][i][k] -= coarse.Res[p][i][k]
+		}
+	}
+}
+
+func (s *Solver) corrDeltaProc(coarse *Level, p int) {
+	for i := 0; i < coarse.Dist.Count(p); i++ {
+		for k := 0; k < euler.NVar; k++ {
+			coarse.Corr[p][i][k] = coarse.W[p][i][k] - coarse.WSaved[p][i][k]
+		}
+	}
+}
+
+func (s *Solver) corrInterpProc(fine, coarse *Level, p int) {
+	for li := range coarse.ProlongAddr[p] {
+		a, wt := coarse.ProlongAddr[p][li], coarse.ProlongWt[p][li]
+		var v euler.State
+		for k := 0; k < 4; k++ {
+			src := coarse.Corr[p][a[k]]
+			f := wt[k]
+			for c := 0; c < euler.NVar; c++ {
+				v[c] += f * src[c]
+			}
+		}
+		fine.Corr[p][li] = v
+	}
+}
+
+func (s *Solver) applyCorrProc(fine *Level, p int) {
+	for i := 0; i < fine.Dist.Count(p); i++ {
+		var cand euler.State
+		for k := 0; k < euler.NVar; k++ {
+			cand[k] = fine.W[p][i][k] + fine.Corr[p][i][k]
+		}
+		if !s.P.Guard(cand) {
+			continue // positivity guard: skip the correction at this vertex
+		}
+		fine.W[p][i] = cand
+	}
+}
+
+// ---- sequential orchestration ----
+
+func (s *Solver) forAll(fn func(p int)) {
+	for p := 0; p < s.NProc; p++ {
+		fn(p)
+	}
+}
+
+// gatherW refreshes the flow-variable ghosts of level lev.
+func (s *Solver) gatherW(lev *Level) error {
+	s.Comm.GatherState++
+	return lev.SchedW.GatherStates(s.Fabric, lev.W)
+}
+
+// convective assembles Q(w) into lev.Conv with the closing scatter-add.
+func (s *Solver) convective(lev *Level) error {
+	s.forAll(func(p int) { s.convectiveProc(lev, p) })
+	s.Comm.ScatterState++
+	return lev.SchedW.ScatterAddStates(s.Fabric, lev.Conv)
+}
+
+// dissipation assembles D(w) into lev.Diss: pass 1 with scatter-add and
+// re-gather, then pass 2 with a final scatter-add — the consecutive-loop
+// structure that motivates the paper's incremental schedules.
+func (s *Solver) dissipation(lev *Level) error {
+	s.forAll(func(p int) { s.dissPass1Proc(lev, p) })
+	s.Comm.ScatterState++
+	if err := lev.SchedW.ScatterAddStates(s.Fabric, lev.Lapl); err != nil {
+		return err
+	}
+	s.Comm.ScatterFloat += 2
+	if err := lev.SchedW.ScatterAddFloats(s.Fabric, lev.Num); err != nil {
+		return err
+	}
+	if err := lev.SchedW.ScatterAddFloats(s.Fabric, lev.Den); err != nil {
+		return err
+	}
+	s.forAll(func(p int) { s.nuProc(lev, p) })
+	s.Comm.GatherState++
+	if err := lev.SchedW.GatherStates(s.Fabric, lev.Lapl); err != nil {
+		return err
+	}
+	s.Comm.GatherFloat++
+	if err := lev.SchedW.GatherFloats(s.Fabric, lev.Num); err != nil {
+		return err
+	}
+	s.forAll(func(p int) { s.dissPass2Proc(lev, p) })
+	s.Comm.ScatterState++
+	return lev.SchedW.ScatterAddStates(s.Fabric, lev.Diss)
+}
+
+// timeSteps computes the local time steps on owned vertices.
+func (s *Solver) timeSteps(lev *Level) error {
+	s.forAll(func(p int) { s.lamProc(lev, p) })
+	s.Comm.ScatterFloat++
+	if err := lev.SchedW.ScatterAddFloats(s.Fabric, lev.Lam); err != nil {
+		return err
+	}
+	s.forAll(func(p int) { s.dtProc(lev, p) })
+	return nil
+}
+
+// smooth applies the distributed implicit residual averaging to arr.
+func (s *Solver) smooth(lev *Level, arr [][]euler.State) error {
+	eps := s.P.EpsSmooth
+	if eps == 0 || s.P.NSmooth == 0 {
+		return nil
+	}
+	s.forAll(func(p int) { s.smoothRHSProc(lev, p, arr) })
+	cur, next := arr, lev.Smooth
+	for sweep := 0; sweep < s.P.NSmooth; sweep++ {
+		s.Comm.GatherState++
+		if err := lev.SchedW.GatherStates(s.Fabric, cur); err != nil {
+			return err
+		}
+		cc, nn := cur, next
+		s.forAll(func(p int) { s.smoothAccumProc(lev, p, cc, nn) })
+		s.Comm.ScatterState++
+		if err := lev.SchedW.ScatterAddStates(s.Fabric, next); err != nil {
+			return err
+		}
+		s.forAll(func(p int) { s.smoothCombineProc(lev, p, nn, eps) })
+		cur, next = next, cur
+	}
+	if &cur[0] != &arr[0] {
+		s.forAll(func(p int) { s.smoothWritebackProc(lev, p, arr, cur) })
+	}
+	return nil
+}
+
+// residual computes R = Q - D (+ forcing if withForcing) into lev.Res at
+// owned vertices.
+func (s *Solver) residual(lev *Level, withForcing bool) error {
+	if err := s.gatherW(lev); err != nil {
+		return err
+	}
+	s.forAll(func(p int) { s.pressuresProc(lev, p) })
+	if err := s.convective(lev); err != nil {
+		return err
+	}
+	if err := s.dissipation(lev); err != nil {
+		return err
+	}
+	s.forAll(func(p int) { s.combineResProc(lev, p, withForcing) })
+	return nil
+}
+
+// step advances level l by one five-stage time step and returns the
+// first-stage residual norm.
+func (s *Solver) step(l int) (float64, error) {
+	lev := s.Levels[l]
+	withForcing := l > 0
+	s.forAll(func(p int) { s.copyW0Proc(lev, p) })
+	if err := s.gatherW(lev); err != nil {
+		return 0, err
+	}
+	s.forAll(func(p int) { s.pressuresProc(lev, p) })
+	if err := s.timeSteps(lev); err != nil {
+		return 0, err
+	}
+	norm := 0.0
+	for q, alpha := range s.P.Stages {
+		if q > 0 {
+			if err := s.gatherW(lev); err != nil {
+				return 0, err
+			}
+			s.forAll(func(p int) { s.pressuresProc(lev, p) })
+		}
+		if err := s.convective(lev); err != nil {
+			return 0, err
+		}
+		if q < euler.DissipStages {
+			if err := s.dissipation(lev); err != nil {
+				return 0, err
+			}
+		}
+		s.forAll(func(p int) { s.combineResProc(lev, p, withForcing) })
+		if q == 0 {
+			sum := 0.0
+			for p := 0; p < s.NProc; p++ {
+				sum += s.normPartialProc(lev, p)
+			}
+			norm = math.Sqrt(sum / float64(lev.M.NV()))
+		}
+		if err := s.smooth(lev, lev.Res); err != nil {
+			return 0, err
+		}
+		s.forAll(func(p int) { s.updateProc(lev, p, alpha) })
+	}
+	return norm, nil
+}
+
+// Cycle performs one multigrid cycle (or a plain time step for a single
+// level) and returns the fine-grid residual norm.
+func (s *Solver) Cycle() (float64, error) {
+	return s.cycle(0)
+}
+
+func (s *Solver) cycle(l int) (float64, error) {
+	norm, err := s.step(l)
+	if err != nil || l == len(s.Levels)-1 {
+		return norm, err
+	}
+	lev, next := s.Levels[l], s.Levels[l+1]
+
+	// Residual of the post-step solution (with forcing on coarse levels).
+	if err := s.residual(lev, l > 0); err != nil {
+		return 0, err
+	}
+
+	// Restrict flow variables: refresh fine ghosts through both the
+	// edge-loop schedule and the incremental restriction schedule, then
+	// interpolate onto coarse-owned vertices.
+	if err := s.gatherW(lev); err != nil {
+		return 0, err
+	}
+	s.Comm.GatherState++
+	if err := next.SchedFine.GatherStates(s.Fabric, lev.W); err != nil {
+		return 0, err
+	}
+	s.forAll(func(p int) { s.restrictInterpProc(lev, next, p) })
+
+	// Restrict residuals conservatively. The prolongation addresses reuse
+	// coarse ghost slots already allocated by the coarse edge-loop
+	// schedule where possible (incremental schedules); accumulated
+	// contributions return to their owners through both schedules.
+	s.forAll(func(p int) { s.residualScatterProc(lev, next, p) })
+	s.Comm.ScatterState += 2
+	if err := next.SchedCoarse.ScatterAddStates(s.Fabric, next.Forcing); err != nil {
+		return 0, err
+	}
+	if err := next.SchedW.ScatterAddStates(s.Fabric, next.Forcing); err != nil {
+		return 0, err
+	}
+
+	// Forcing P = R' - R(w').
+	if err := s.residual(next, false); err != nil {
+		return 0, err
+	}
+	s.forAll(func(p int) { s.forcingCombineProc(next, p) })
+
+	visits := s.Gamma
+	if l+1 == len(s.Levels)-1 {
+		visits = 1
+	}
+	for v := 0; v < visits; v++ {
+		if _, err := s.cycle(l + 1); err != nil {
+			return 0, err
+		}
+	}
+
+	// Correction: coarse delta, ghost refresh through both schedules,
+	// interpolate to fine, smooth, apply.
+	s.forAll(func(p int) { s.corrDeltaProc(next, p) })
+	s.Comm.GatherState += 2
+	if err := next.SchedCoarse.GatherStates(s.Fabric, next.Corr); err != nil {
+		return 0, err
+	}
+	if err := next.SchedW.GatherStates(s.Fabric, next.Corr); err != nil {
+		return 0, err
+	}
+	s.forAll(func(p int) { s.corrInterpProc(lev, next, p) })
+	if err := s.smooth(lev, lev.Corr); err != nil {
+		return 0, err
+	}
+	s.forAll(func(p int) { s.applyCorrProc(lev, p) })
+	return norm, nil
+}

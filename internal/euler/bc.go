@@ -1,0 +1,64 @@
+package euler
+
+import (
+	"math"
+
+	"eul3d/internal/geom"
+)
+
+// FarFieldState resolves the boundary state on a far-field face by the
+// standard one-dimensional characteristic (Riemann-invariant) analysis
+// normal to the face: the outgoing invariant comes from the interior state
+// wi, the incoming one from the freestream winf; entropy and tangential
+// velocity are taken from the donor side selected by the sign of the
+// resolved normal velocity. Supersonic faces take the full donor state.
+func FarFieldState(g Gas, wi, winf State, n geom.Vec3) State {
+	nhat := n.Normalized()
+	gm1 := g.Gamma - 1
+
+	rhoI := wi[0]
+	pI := g.Pressure(wi)
+	if rhoI <= 0 || pI <= 0 {
+		// The face-averaged interior state can go unphysical during a
+		// violent start-up transient (pressure is not convex in the
+		// conserved variables); fall back to the freestream, which the
+		// characteristic analysis would approach anyway.
+		return winf
+	}
+	uI := geom.Vec3{X: wi[1] / rhoI, Y: wi[2] / rhoI, Z: wi[3] / rhoI}
+	cI := math.Sqrt(g.Gamma * pI / rhoI)
+	unI := uI.Dot(nhat)
+
+	rhoF := winf[0]
+	uF := geom.Vec3{X: winf[1] / rhoF, Y: winf[2] / rhoF, Z: winf[3] / rhoF}
+	pF := g.Pressure(winf)
+	cF := math.Sqrt(g.Gamma * pF / rhoF)
+	unF := uF.Dot(nhat)
+
+	// Supersonic short-circuit: everything from one side.
+	if unI/cI >= 1 { // supersonic outflow
+		return wi
+	}
+	if unF/cF <= -1 { // supersonic inflow
+		return winf
+	}
+
+	rPlus := unI + 2*cI/gm1  // carried out of the domain by the interior
+	rMinus := unF - 2*cF/gm1 // carried into the domain by the freestream
+	unB := 0.5 * (rPlus + rMinus)
+	cB := 0.25 * gm1 * (rPlus - rMinus)
+
+	var s float64 // entropy p/rho^gamma from the donor side
+	var ut geom.Vec3
+	if unB > 0 { // outflow: donor is the interior
+		s = pI / math.Pow(rhoI, g.Gamma)
+		ut = uI.Sub(nhat.Scale(unI))
+	} else { // inflow: donor is the freestream
+		s = pF / math.Pow(rhoF, g.Gamma)
+		ut = uF.Sub(nhat.Scale(unF))
+	}
+	rhoB := math.Pow(cB*cB/(g.Gamma*s), 1/gm1)
+	pB := rhoB * cB * cB / g.Gamma
+	uB := ut.Add(nhat.Scale(unB))
+	return g.FromPrimitive(rhoB, uB.X, uB.Y, uB.Z, pB)
+}

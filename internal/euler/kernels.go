@@ -1,0 +1,240 @@
+package euler
+
+import (
+	"math"
+
+	"eul3d/internal/mesh"
+)
+
+// This file exposes the solver's loop bodies as range kernels over explicit
+// edge/face index subsets. The sequential driver in ops.go iterates the
+// whole mesh directly; the shared-memory parallel executor (package
+// smsolver) calls these kernels per color group and per worker chunk,
+// which is exactly the Cray autotasking decomposition of Section 3.1.
+// Within a color group no two edges touch the same vertex, so the kernels
+// are race-free and the results are bitwise identical to the sequential
+// loops.
+
+// ConvectiveEdgesKernel accumulates the convective flux of the listed
+// edges into res. Pressures must be current.
+func (d *Disc) ConvectiveEdgesKernel(w, res []State, edges []int32) {
+	m := d.M
+	for _, e := range edges {
+		ed := m.Edges[e]
+		i, j := ed[0], ed[1]
+		n := m.EdgeNorm[e]
+		fi := FluxDotN(w[i], d.pres[i], n.X, n.Y, n.Z)
+		fj := FluxDotN(w[j], d.pres[j], n.X, n.Y, n.Z)
+		for k := 0; k < NVar; k++ {
+			f := 0.5 * (fi[k] + fj[k])
+			res[i][k] += f
+			res[j][k] -= f
+		}
+	}
+}
+
+// BoundaryFluxKernel accumulates the boundary closure of the listed
+// boundary faces into res.
+func (d *Disc) BoundaryFluxKernel(w, res []State, faces []int32) {
+	m := d.M
+	g := d.P.Gas
+	for _, bi := range faces {
+		f := &m.BFaces[bi]
+		n := f.Normal
+		var flux State
+		switch f.Kind {
+		case mesh.Wall, mesh.Symmetry:
+			p := (d.pres[f.V[0]] + d.pres[f.V[1]] + d.pres[f.V[2]]) / 3
+			flux = State{0, p * n.X, p * n.Y, p * n.Z, 0}
+		case mesh.FarField:
+			var wi State
+			for k := 0; k < NVar; k++ {
+				wi[k] = (w[f.V[0]][k] + w[f.V[1]][k] + w[f.V[2]][k]) / 3
+			}
+			wb := FarFieldState(g, wi, d.P.Freestream, n)
+			flux = FluxDotN(wb, g.Pressure(wb), n.X, n.Y, n.Z)
+		}
+		for k := 0; k < NVar; k++ {
+			third := flux[k] / 3
+			res[f.V[0]][k] += third
+			res[f.V[1]][k] += third
+			res[f.V[2]][k] += third
+		}
+	}
+}
+
+// DissPass1Kernel accumulates the undivided Laplacian and pressure-sensor
+// sums of the listed edges into lapl, num and den.
+func (d *Disc) DissPass1Kernel(w []State, lapl []State, num, den []float64, edges []int32) {
+	m := d.M
+	for _, e := range edges {
+		ed := m.Edges[e]
+		i, j := ed[0], ed[1]
+		for k := 0; k < NVar; k++ {
+			dw := w[j][k] - w[i][k]
+			lapl[i][k] += dw
+			lapl[j][k] -= dw
+		}
+		dp := d.pres[j] - d.pres[i]
+		num[i] += dp
+		num[j] -= dp
+		sp := d.pres[j] + d.pres[i]
+		den[i] += sp
+		den[j] += sp
+	}
+}
+
+// DissPass2Kernel accumulates the blended dissipative flux of the listed
+// edges into diss, given the per-vertex switch nu and Laplacian lapl.
+func (d *Disc) DissPass2Kernel(w, lapl, diss []State, nu []float64, edges []int32) {
+	m := d.M
+	k2, k4 := d.P.K2, d.P.K4
+	for _, e := range edges {
+		ed := m.Edges[e]
+		i, j := ed[0], ed[1]
+		lamE := d.edgeSpectralRadius(w, i, j, m.EdgeNorm[e])
+		eps2 := k2 * math.Max(nu[i], nu[j])
+		eps4 := math.Max(0, k4-eps2)
+		for k := 0; k < NVar; k++ {
+			f := lamE * (eps2*(w[j][k]-w[i][k]) - eps4*(lapl[j][k]-lapl[i][k]))
+			diss[i][k] += f
+			diss[j][k] -= f
+		}
+	}
+}
+
+// LambdaEdgesKernel accumulates the spectral radii of the listed edges
+// into lam.
+func (d *Disc) LambdaEdgesKernel(w []State, lam []float64, edges []int32) {
+	m := d.M
+	for _, e := range edges {
+		ed := m.Edges[e]
+		i, j := ed[0], ed[1]
+		lamE := d.edgeSpectralRadius(w, i, j, m.EdgeNorm[e])
+		lam[i] += lamE
+		lam[j] += lamE
+	}
+}
+
+// LambdaBFacesKernel accumulates the boundary-face spectral radii of the
+// listed faces into lam.
+func (d *Disc) LambdaBFacesKernel(w []State, lam []float64, faces []int32) {
+	m := d.M
+	g := d.P.Gas
+	for _, bi := range faces {
+		f := &m.BFaces[bi]
+		n := f.Normal
+		for _, v := range f.V {
+			inv := 1 / w[v][0]
+			un := (w[v][1]*n.X + w[v][2]*n.Y + w[v][3]*n.Z) * inv
+			c := math.Sqrt(g.Gamma * d.pres[v] * inv)
+			lam[v] += (math.Abs(un) + c*n.Norm()) / 3
+		}
+	}
+}
+
+// SmoothAccumKernel accumulates neighbour sums of cur into next for the
+// listed edges (one Jacobi sweep's gather phase).
+func (d *Disc) SmoothAccumKernel(cur, next []State, edges []int32) {
+	m := d.M
+	for _, e := range edges {
+		ed := m.Edges[e]
+		i, j := ed[0], ed[1]
+		for k := 0; k < NVar; k++ {
+			next[i][k] += cur[j][k]
+			next[j][k] += cur[i][k]
+		}
+	}
+}
+
+// Vertex-range kernels (trivially parallel):
+
+// PressureRangeKernel fills pres for vertices [lo,hi).
+func (d *Disc) PressureRangeKernel(w []State, lo, hi int) {
+	g := d.P.Gas
+	for i := lo; i < hi; i++ {
+		d.pres[i] = g.Pressure(w[i])
+	}
+}
+
+// NuRangeKernel converts the sensor sums to the shock switch for vertices
+// [lo,hi): nu = |num|/den stored into num.
+func (d *Disc) NuRangeKernel(num, den []float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		num[i] = math.Abs(num[i]) / den[i]
+	}
+}
+
+// DtRangeKernel fills the local time steps for vertices [lo,hi).
+func (d *Disc) DtRangeKernel(lam []float64, lo, hi int) {
+	cfl := d.P.CFL
+	for i := lo; i < hi; i++ {
+		d.Dt[i] = cfl * d.M.Vol[i] / lam[i]
+	}
+}
+
+// SmoothCombineKernel finishes one Jacobi sweep for vertices [lo,hi):
+// next = (rhs + eps*next) / (1 + eps*deg).
+func (d *Disc) SmoothCombineKernel(rhs, next []State, eps float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		inv := 1 / (1 + eps*float64(d.deg[i]))
+		for k := 0; k < NVar; k++ {
+			next[i][k] = (rhs[i][k] + eps*next[i][k]) * inv
+		}
+	}
+}
+
+// UpdateRangeKernel applies one RK stage update for vertices [lo,hi):
+// w = w0 - alpha*Dt/V * res.
+func (d *Disc) UpdateRangeKernel(w, w0, res []State, alpha float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		f := alpha * d.Dt[i] / d.M.Vol[i]
+		var cand State
+		for k := 0; k < NVar; k++ {
+			cand[k] = w0[i][k] - f*res[i][k]
+		}
+		if !d.P.Guard(cand) {
+			cand = w0[i] // positivity guard, identical to the sequential step
+		}
+		w[i] = cand
+	}
+}
+
+// CombineResidualKernel forms res = conv - diss (+ forcing) for vertices
+// [lo,hi).
+func (d *Disc) CombineResidualKernel(res, conv, diss, forcing []State, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for k := 0; k < NVar; k++ {
+			res[i][k] = conv[i][k] - diss[i][k]
+		}
+		if forcing != nil {
+			for k := 0; k < NVar; k++ {
+				res[i][k] += forcing[i][k]
+			}
+		}
+	}
+}
+
+// Scratch accessors for the parallel executor (which drives the kernels
+// itself but reuses this discretization's workspace).
+
+// Pres returns the pressure scratch array.
+func (d *Disc) Pres() []float64 { return d.pres }
+
+// Lam returns the spectral-radius scratch array.
+func (d *Disc) Lam() []float64 { return d.lam }
+
+// Sensor returns the sensor numerator scratch (holds nu after NuRange).
+func (d *Disc) Sensor() []float64 { return d.sensor }
+
+// Den returns the sensor denominator scratch.
+func (d *Disc) Den() []float64 { return d.den }
+
+// Lapl returns the Laplacian scratch array.
+func (d *Disc) Lapl() []State { return d.lapl }
+
+// SmoothScratch returns the residual-averaging ping-pong buffer.
+func (d *Disc) SmoothScratch() []State { return d.smooth }
+
+// RHSScratch returns the residual-averaging right-hand-side buffer.
+func (d *Disc) RHSScratch() []State { return d.rhs }

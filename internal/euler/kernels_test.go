@@ -1,0 +1,152 @@
+package euler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eul3d/internal/meshgen"
+)
+
+// kernelFixture builds a disc with a perturbed field so every kernel does
+// nontrivial work.
+func kernelFixture(t *testing.T) (*Disc, []State) {
+	t.Helper()
+	m, err := meshgen.Channel(meshgen.DefaultChannel(8, 5, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDisc(m, DefaultParams(0.675, 0))
+	w := make([]State, m.NV())
+	rng := rand.New(rand.NewSource(2))
+	g := d.P.Gas
+	for i := range w {
+		w[i] = g.FromPrimitive(1+0.1*rng.Float64(), 0.5+0.1*rng.Float64(),
+			0.05*rng.Float64(), 0.05*rng.Float64(), 0.7+0.1*rng.Float64())
+	}
+	d.computePressures(w)
+	return d, w
+}
+
+func allEdges(d *Disc) []int32 {
+	e := make([]int32, d.M.NE())
+	for i := range e {
+		e[i] = int32(i)
+	}
+	return e
+}
+
+func allFaces(d *Disc) []int32 {
+	f := make([]int32, len(d.M.BFaces))
+	for i := range f {
+		f[i] = int32(i)
+	}
+	return f
+}
+
+func statesClose(t *testing.T, name string, a, b []State, tol float64) {
+	t.Helper()
+	for i := range a {
+		for k := 0; k < NVar; k++ {
+			if math.Abs(a[i][k]-b[i][k]) > tol*(1+math.Abs(b[i][k])) {
+				t.Fatalf("%s: vertex %d var %d: %g vs %g", name, i, k, a[i][k], b[i][k])
+			}
+		}
+	}
+}
+
+// TestKernelsMatchMonolithicLoops checks that the range kernels (used by
+// the shared-memory parallel executor) reproduce the monolithic loops of
+// ops.go when driven over the full index range.
+func TestKernelsMatchMonolithicLoops(t *testing.T) {
+	d, w := kernelFixture(t)
+	nv := d.M.NV()
+
+	// Convective.
+	ref := make([]State, nv)
+	d.Convective(w, ref)
+	got := make([]State, nv)
+	d.ConvectiveEdgesKernel(w, got, allEdges(d))
+	d.BoundaryFluxKernel(w, got, allFaces(d))
+	statesClose(t, "convective", got, ref, 1e-12)
+
+	// Dissipation via the split kernels.
+	refD := make([]State, nv)
+	d.Dissipation(w, refD)
+	lapl := make([]State, nv)
+	num := make([]float64, nv)
+	den := make([]float64, nv)
+	d.DissPass1Kernel(w, lapl, num, den, allEdges(d))
+	d.NuRangeKernel(num, den, 0, nv)
+	gotD := make([]State, nv)
+	d.DissPass2Kernel(w, lapl, gotD, num, allEdges(d))
+	statesClose(t, "dissipation", gotD, refD, 1e-12)
+
+	// Time steps via the lambda kernels.
+	d.ComputeTimeSteps(w)
+	refDt := append([]float64(nil), d.Dt...)
+	lam := make([]float64, nv)
+	d.LambdaEdgesKernel(w, lam, allEdges(d))
+	d.LambdaBFacesKernel(w, lam, allFaces(d))
+	copy(d.lam, lam)
+	d.DtRangeKernel(lam, 0, nv)
+	for i := range refDt {
+		if math.Abs(d.Dt[i]-refDt[i]) > 1e-12*refDt[i] {
+			t.Fatalf("dt: vertex %d: %g vs %g", i, d.Dt[i], refDt[i])
+		}
+	}
+}
+
+func TestScratchAccessors(t *testing.T) {
+	d, _ := kernelFixture(t)
+	nv := d.M.NV()
+	for name, n := range map[string]int{
+		"pres": len(d.Pres()), "lam": len(d.Lam()), "sensor": len(d.Sensor()),
+		"den": len(d.Den()), "lapl": len(d.Lapl()),
+		"smooth": len(d.SmoothScratch()), "rhs": len(d.RHSScratch()),
+	} {
+		if n != nv {
+			t.Errorf("%s accessor returned %d entries, want %d", name, n, nv)
+		}
+	}
+}
+
+func TestCombineAndUpdateKernels(t *testing.T) {
+	d, w := kernelFixture(t)
+	nv := d.M.NV()
+	conv := make([]State, nv)
+	diss := make([]State, nv)
+	forcing := make([]State, nv)
+	for i := range conv {
+		conv[i] = State{1, 2, 3, 4, 5}
+		diss[i] = State{0.5, 0.5, 0.5, 0.5, 0.5}
+		forcing[i] = State{0.1, 0.1, 0.1, 0.1, 0.1}
+	}
+	res := make([]State, nv)
+	d.CombineResidualKernel(res, conv, diss, forcing, 0, nv)
+	want := State{0.6, 1.6, 2.6, 3.6, 4.6}
+	for k := 0; k < NVar; k++ {
+		if math.Abs(res[0][k]-want[k]) > 1e-15 {
+			t.Fatalf("combine: %v", res[0])
+		}
+	}
+	d.CombineResidualKernel(res, conv, diss, nil, 0, nv)
+	if res[0][0] != 0.5 {
+		t.Fatalf("combine nil forcing: %v", res[0])
+	}
+
+	d.computePressures(w)
+	d.ComputeTimeSteps(w)
+	d.P.MinDensity, d.P.MinPressure = 0, 0 // test the raw update arithmetic
+	w0 := append([]State(nil), w...)
+	d.UpdateRangeKernel(w, w0, res, 0.5, 0, nv)
+	for i := range w {
+		f := 0.5 * d.Dt[i] / d.M.Vol[i]
+		for k := 0; k < NVar; k++ {
+			want := w0[i][k] - f*res[i][k]
+			if math.Abs(w[i][k]-want) > 1e-13*(1+math.Abs(want)) {
+				t.Fatalf("update: vertex %d", i)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package euler implements the numerics of EUL3D: a vertex-centered
+// Galerkin (central-difference-like) discretization of the 3-D compressible
+// Euler equations on tetrahedral meshes, with blended Laplacian/biharmonic
+// artificial dissipation, local time stepping, implicit residual averaging,
+// and the hybrid five-stage Runge-Kutta scheme of the paper. All compute-
+// intensive kernels are single or two-pass loops over the mesh edge list.
+//
+// Nondimensionalization: freestream density = 1, freestream speed of sound
+// = 1, so freestream velocity magnitude equals the Mach number and
+// freestream pressure is 1/gamma.
+package euler
+
+import "math"
+
+// NVar is the number of conserved variables per vertex.
+const NVar = 5
+
+// State holds the conserved variables (rho, rho*u, rho*v, rho*w, rho*E).
+type State [NVar]float64
+
+// Add returns s + t.
+func (s State) Add(t State) State {
+	for i := range s {
+		s[i] += t[i]
+	}
+	return s
+}
+
+// Sub returns s - t.
+func (s State) Sub(t State) State {
+	for i := range s {
+		s[i] -= t[i]
+	}
+	return s
+}
+
+// Scale returns a*s.
+func (s State) Scale(a float64) State {
+	for i := range s {
+		s[i] *= a
+	}
+	return s
+}
+
+// Gas holds the perfect-gas parameters.
+type Gas struct {
+	Gamma float64
+}
+
+// Air is the standard diatomic perfect gas.
+var Air = Gas{Gamma: 1.4}
+
+// Pressure returns the static pressure of s.
+func (g Gas) Pressure(s State) float64 {
+	rho := s[0]
+	q2 := (s[1]*s[1] + s[2]*s[2] + s[3]*s[3]) / rho
+	return (g.Gamma - 1) * (s[4] - 0.5*q2)
+}
+
+// SoundSpeed returns the local speed of sound of s.
+func (g Gas) SoundSpeed(s State) float64 {
+	p := g.Pressure(s)
+	return math.Sqrt(g.Gamma * p / s[0])
+}
+
+// Velocity returns the velocity components of s.
+func (g Gas) Velocity(s State) (u, v, w float64) {
+	inv := 1 / s[0]
+	return s[1] * inv, s[2] * inv, s[3] * inv
+}
+
+// Mach returns the local Mach number of s.
+func (g Gas) Mach(s State) float64 {
+	u, v, w := g.Velocity(s)
+	return math.Sqrt(u*u+v*v+w*w) / g.SoundSpeed(s)
+}
+
+// FromPrimitive builds a conserved state from (rho, u, v, w, p).
+func (g Gas) FromPrimitive(rho, u, v, w, p float64) State {
+	return State{
+		rho,
+		rho * u,
+		rho * v,
+		rho * w,
+		p/(g.Gamma-1) + 0.5*rho*(u*u+v*v+w*w),
+	}
+}
+
+// Freestream returns the uniform state at Mach number mach with angle of
+// attack alphaDeg (degrees, in the x-y plane) in the nondimensionalization
+// of this package (rho=1, c=1).
+func (g Gas) Freestream(mach, alphaDeg float64) State {
+	a := alphaDeg * math.Pi / 180
+	return g.FromPrimitive(1, mach*math.Cos(a), mach*math.Sin(a), 0, 1/g.Gamma)
+}
+
+// FluxDotN returns the inviscid flux of s projected onto the (area-
+// weighted, non-normalized) normal n = (nx, ny, nz), with p the
+// precomputed pressure of s.
+func FluxDotN(s State, p, nx, ny, nz float64) State {
+	inv := 1 / s[0]
+	un := (s[1]*nx + s[2]*ny + s[3]*nz) * inv
+	return State{
+		s[0] * un,
+		s[1]*un + p*nx,
+		s[2]*un + p*ny,
+		s[3]*un + p*nz,
+		(s[4] + p) * un,
+	}
+}

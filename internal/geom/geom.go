@@ -1,0 +1,117 @@
+// Package geom provides the small amount of 3-D vector and tetrahedral
+// geometry needed by the unstructured Euler solver: vectors, tetrahedron
+// volumes and centroids, triangle area normals, and barycentric-coordinate
+// containment queries used by the multigrid transfer-operator search.
+package geom
+
+import "math"
+
+// Vec3 is a point or vector in R^3.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// Add returns v + u.
+func (v Vec3) Add(u Vec3) Vec3 { return Vec3{v.X + u.X, v.Y + u.Y, v.Z + u.Z} }
+
+// Sub returns v - u.
+func (v Vec3) Sub(u Vec3) Vec3 { return Vec3{v.X - u.X, v.Y - u.Y, v.Z - u.Z} }
+
+// Scale returns s*v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Dot returns the inner product v . u.
+func (v Vec3) Dot(u Vec3) float64 { return v.X*u.X + v.Y*u.Y + v.Z*u.Z }
+
+// Cross returns the cross product v x u.
+func (v Vec3) Cross(u Vec3) Vec3 {
+	return Vec3{
+		v.Y*u.Z - v.Z*u.Y,
+		v.Z*u.X - v.X*u.Z,
+		v.X*u.Y - v.Y*u.X,
+	}
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vec3) Norm() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Normalized returns v scaled to unit length. The zero vector is returned
+// unchanged.
+func (v Vec3) Normalized() Vec3 {
+	n := v.Norm()
+	if n == 0 {
+		return v
+	}
+	return v.Scale(1 / n)
+}
+
+// TetVolume returns the signed volume of the tetrahedron (a,b,c,d):
+// positive when (b-a, c-a, d-a) form a right-handed triple.
+func TetVolume(a, b, c, d Vec3) float64 {
+	return b.Sub(a).Cross(c.Sub(a)).Dot(d.Sub(a)) / 6
+}
+
+// TetCentroid returns the centroid of the tetrahedron (a,b,c,d).
+func TetCentroid(a, b, c, d Vec3) Vec3 {
+	return Vec3{
+		(a.X + b.X + c.X + d.X) / 4,
+		(a.Y + b.Y + c.Y + d.Y) / 4,
+		(a.Z + b.Z + c.Z + d.Z) / 4,
+	}
+}
+
+// TriAreaNormal returns the area-weighted normal of triangle (a,b,c):
+// a vector normal to the triangle whose length equals its area, oriented
+// by the right-hand rule on the vertex ordering.
+func TriAreaNormal(a, b, c Vec3) Vec3 {
+	return b.Sub(a).Cross(c.Sub(a)).Scale(0.5)
+}
+
+// TriCentroid returns the centroid of triangle (a,b,c).
+func TriCentroid(a, b, c Vec3) Vec3 {
+	return Vec3{(a.X + b.X + c.X) / 3, (a.Y + b.Y + c.Y) / 3, (a.Z + b.Z + c.Z) / 3}
+}
+
+// Barycentric returns the barycentric coordinates (l0,l1,l2,l3) of point p
+// with respect to tetrahedron (a,b,c,d). The coordinates sum to 1 whenever
+// the tetrahedron is non-degenerate; ok is false for a degenerate
+// tetrahedron (zero volume).
+func Barycentric(p, a, b, c, d Vec3) (l [4]float64, ok bool) {
+	vol := TetVolume(a, b, c, d)
+	if vol == 0 {
+		return l, false
+	}
+	inv := 1 / vol
+	l[0] = TetVolume(p, b, c, d) * inv
+	l[1] = TetVolume(a, p, c, d) * inv
+	l[2] = TetVolume(a, b, p, d) * inv
+	l[3] = TetVolume(a, b, c, p) * inv
+	return l, true
+}
+
+// InTet reports whether p lies inside (or on the boundary of, within tol)
+// the tetrahedron (a,b,c,d). tol is an absolute slack on the barycentric
+// coordinates; tol=0 tests strict containment of the closed tetrahedron.
+func InTet(p, a, b, c, d Vec3, tol float64) bool {
+	l, ok := Barycentric(p, a, b, c, d)
+	if !ok {
+		return false
+	}
+	for _, li := range l {
+		if li < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Clamp returns x limited to the interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestVecOps(t *testing.T) {
+	v := Vec3{1, 2, 3}
+	u := Vec3{4, -5, 6}
+	if got := v.Add(u); got != (Vec3{5, -3, 9}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := v.Sub(u); got != (Vec3{-3, 7, -3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := v.Scale(2); got != (Vec3{2, 4, 6}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := v.Dot(u); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	f := func(vx, vy, vz, ux, uy, uz float64) bool {
+		v := Vec3{vx, vy, vz}
+		u := Vec3{ux, uy, uz}
+		c := v.Cross(u)
+		scale := v.Norm() * u.Norm()
+		if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return true
+		}
+		return almostEq(c.Dot(v)/scale/(1+c.Norm()), 0, 1e-9) &&
+			almostEq(c.Dot(u)/scale/(1+c.Norm()), 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if got := (Vec3{3, 4, 0}).Norm(); got != 5 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	n := (Vec3{1, 2, 2}).Normalized()
+	if !almostEq(n.Norm(), 1, 1e-15) {
+		t.Errorf("Normalized().Norm() = %v", n.Norm())
+	}
+	z := Vec3{}
+	if z.Normalized() != z {
+		t.Error("Normalized zero vector should be zero")
+	}
+}
+
+func TestTetVolumeUnit(t *testing.T) {
+	// Unit right tetrahedron has volume 1/6.
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	d := Vec3{0, 0, 1}
+	if got := TetVolume(a, b, c, d); !almostEq(got, 1.0/6, 1e-15) {
+		t.Errorf("TetVolume = %v, want 1/6", got)
+	}
+	// Swapping two vertices flips the sign.
+	if got := TetVolume(b, a, c, d); !almostEq(got, -1.0/6, 1e-15) {
+		t.Errorf("TetVolume swapped = %v, want -1/6", got)
+	}
+}
+
+func TestTetVolumeTranslationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		pts := make([]Vec3, 4)
+		for j := range pts {
+			pts[j] = Vec3{rng.Float64(), rng.Float64(), rng.Float64()}
+		}
+		shift := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		v0 := TetVolume(pts[0], pts[1], pts[2], pts[3])
+		v1 := TetVolume(pts[0].Add(shift), pts[1].Add(shift), pts[2].Add(shift), pts[3].Add(shift))
+		if !almostEq(v0, v1, 1e-12*(1+math.Abs(v0))) {
+			t.Fatalf("volume not translation invariant: %v vs %v", v0, v1)
+		}
+	}
+}
+
+func TestTriAreaNormal(t *testing.T) {
+	// Right triangle in the xy-plane with legs 2 and 3: area 3, normal +z.
+	n := TriAreaNormal(Vec3{0, 0, 0}, Vec3{2, 0, 0}, Vec3{0, 3, 0})
+	if !almostEq(n.Z, 3, 1e-15) || n.X != 0 || n.Y != 0 {
+		t.Errorf("TriAreaNormal = %v, want (0,0,3)", n)
+	}
+}
+
+func TestCentroids(t *testing.T) {
+	c := TetCentroid(Vec3{0, 0, 0}, Vec3{4, 0, 0}, Vec3{0, 4, 0}, Vec3{0, 0, 4})
+	if c != (Vec3{1, 1, 1}) {
+		t.Errorf("TetCentroid = %v", c)
+	}
+	tc := TriCentroid(Vec3{0, 0, 0}, Vec3{3, 0, 0}, Vec3{0, 3, 0})
+	if tc != (Vec3{1, 1, 0}) {
+		t.Errorf("TriCentroid = %v", tc)
+	}
+}
+
+func TestBarycentricReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0.1, 0}
+	c := Vec3{0.2, 1, 0}
+	d := Vec3{0.1, 0.3, 1}
+	for i := 0; i < 200; i++ {
+		p := Vec3{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		l, ok := Barycentric(p, a, b, c, d)
+		if !ok {
+			t.Fatal("unexpected degenerate tet")
+		}
+		sum := l[0] + l[1] + l[2] + l[3]
+		if !almostEq(sum, 1, 1e-9) {
+			t.Fatalf("barycentric coords sum = %v, want 1", sum)
+		}
+		// Reconstruct p = sum l_i * vertex_i.
+		rec := a.Scale(l[0]).Add(b.Scale(l[1])).Add(c.Scale(l[2])).Add(d.Scale(l[3]))
+		if rec.Sub(p).Norm() > 1e-9*(1+p.Norm()) {
+			t.Fatalf("reconstruction error: %v vs %v", rec, p)
+		}
+	}
+}
+
+func TestBarycentricDegenerate(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	_, ok := Barycentric(Vec3{1, 1, 1}, a, a, a, a)
+	if ok {
+		t.Error("expected degenerate tetrahedron to report ok=false")
+	}
+}
+
+func TestInTet(t *testing.T) {
+	a := Vec3{0, 0, 0}
+	b := Vec3{1, 0, 0}
+	c := Vec3{0, 1, 0}
+	d := Vec3{0, 0, 1}
+	if !InTet(Vec3{0.2, 0.2, 0.2}, a, b, c, d, 0) {
+		t.Error("centroid-ish point should be inside")
+	}
+	if InTet(Vec3{1, 1, 1}, a, b, c, d, 0) {
+		t.Error("outside point reported inside")
+	}
+	// Vertex is on the boundary: contained with zero tolerance.
+	if !InTet(a, a, b, c, d, 1e-12) {
+		t.Error("vertex should be contained")
+	}
+	// Slightly outside but within tolerance.
+	if !InTet(Vec3{-1e-9, 0.1, 0.1}, a, b, c, d, 1e-6) {
+		t.Error("point within tol should be contained")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp broken")
+	}
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// pathGraph returns edges of a path 0-1-2-...-n-1.
+func pathGraph(n int) [][2]int32 {
+	e := make([][2]int32, n-1)
+	for i := 0; i < n-1; i++ {
+		e[i] = [2]int32{int32(i), int32(i + 1)}
+	}
+	return e
+}
+
+func TestFromEdgesDegrees(t *testing.T) {
+	g, err := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 2, 3, 2}
+	for v, d := range want {
+		if g.Degree(int32(v)) != d {
+			t.Errorf("degree(%d) = %d, want %d", v, g.Degree(int32(v)), d)
+		}
+	}
+	if g.N() != 4 {
+		t.Errorf("N = %d", g.N())
+	}
+}
+
+func TestFromEdgesRejectsOutOfRange(t *testing.T) {
+	if _, err := FromEdges(3, [][2]int32{{0, 5}}); err == nil {
+		t.Error("accepted out-of-range edge")
+	}
+	if _, err := FromEdges(3, [][2]int32{{-1, 0}}); err == nil {
+		t.Error("accepted negative vertex")
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 50
+	var edges [][2]int32
+	seen := map[[2]int32]bool{}
+	for len(edges) < 120 {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if seen[[2]int32{a, b}] {
+			continue
+		}
+		seen[[2]int32{a, b}] = true
+		edges = append(edges, [2]int32{a, b})
+	}
+	g, err := FromEdges(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); int(v) < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			found := false
+			for _, u := range g.Neighbors(w) {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: %d->%d", v, w)
+			}
+		}
+	}
+}
+
+func TestBFSLevelsOnPath(t *testing.T) {
+	g, _ := FromEdges(6, pathGraph(6))
+	level, order := g.BFS(0)
+	for v := 0; v < 6; v++ {
+		if level[v] != int32(v) {
+			t.Errorf("level[%d] = %d, want %d", v, level[v], v)
+		}
+	}
+	if len(order) != 6 || order[0] != 0 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g, _ := FromEdges(4, [][2]int32{{0, 1}})
+	level, order := g.BFS(0)
+	if level[2] != -1 || level[3] != -1 {
+		t.Errorf("unreachable levels: %v", level)
+	}
+	if len(order) != 2 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g, _ := FromEdges(6, [][2]int32{{0, 1}, {1, 2}, {4, 5}})
+	comp, nc := g.Components()
+	if nc != 3 {
+		t.Fatalf("components = %d, want 3", nc)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Error("0,1,2 should share a component")
+	}
+	if comp[4] != comp[5] || comp[3] == comp[4] || comp[3] == comp[0] {
+		t.Error("bad component labels")
+	}
+}
+
+func TestPseudoPeripheralPath(t *testing.T) {
+	g, _ := FromEdges(9, pathGraph(9))
+	p := g.PseudoPeripheral(4)
+	if p != 0 && p != 8 {
+		t.Errorf("pseudo-peripheral of path from middle = %d, want an end", p)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	g, _ := FromEdges(10, [][2]int32{{0, 9}, {1, 2}})
+	if bw := g.Bandwidth(); bw != 9 {
+		t.Errorf("bandwidth = %d, want 9", bw)
+	}
+	g2, _ := FromEdges(10, pathGraph(10))
+	if bw := g2.Bandwidth(); bw != 1 {
+		t.Errorf("path bandwidth = %d, want 1", bw)
+	}
+}

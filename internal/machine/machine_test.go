@@ -1,0 +1,87 @@
+package machine
+
+import "testing"
+
+func regions() []Region {
+	return []Region{
+		{N: 100000, FlopsPer: 48},
+		{N: 50000, FlopsPer: 24},
+		{N: 2000, FlopsPer: 66},
+	}
+}
+
+func TestFlops(t *testing.T) {
+	want := int64(100000*48 + 50000*24 + 2000*66)
+	if got := Flops(regions()); got != want {
+		t.Errorf("Flops = %d, want %d", got, want)
+	}
+}
+
+func TestSharedTimeScaling(t *testing.T) {
+	r := regions()
+	w1, c1 := C90.Time(r, 1)
+	w16, c16 := C90.Time(r, 16)
+	if !(w16 < w1) {
+		t.Errorf("no wall-clock speedup: %v -> %v", w1, w16)
+	}
+	if !(c16 > c1) {
+		t.Errorf("CPU time should inflate with CPUs: %v -> %v", c1, c16)
+	}
+	speedup := w1 / w16
+	if speedup < 8 || speedup > 16 {
+		t.Errorf("16-CPU speedup %v outside plausible range", speedup)
+	}
+}
+
+func TestSharedTimeSingleCPURate(t *testing.T) {
+	// At 1 CPU on long loops the sustained rate approaches RInf.
+	r := []Region{{N: 10_000_000, FlopsPer: 50}}
+	w, _ := C90.Time(r, 1)
+	rate := float64(Flops(r)) / w
+	if rate < 0.9*C90.RInf || rate > C90.RInf {
+		t.Errorf("1-CPU rate %v vs RInf %v", rate, C90.RInf)
+	}
+}
+
+func TestSharedTimeSmallLoopsInefficient(t *testing.T) {
+	// Many tiny regions: dominated by dispatch and vector startup, so the
+	// sustained rate collapses — the coarse-grid effect.
+	small := make([]Region, 1000)
+	for i := range small {
+		small[i] = Region{N: 20, FlopsPer: 50}
+	}
+	w, _ := C90.Time(small, 16)
+	rate := float64(Flops(small)) / w
+	if rate > 0.2*C90.RInf*16 {
+		t.Errorf("tiny loops achieved %v flops/s, should be far below peak", rate)
+	}
+}
+
+func TestSharedTimeZeroRegionSkipped(t *testing.T) {
+	w, c := C90.Time([]Region{{N: 0, FlopsPer: 10}}, 4)
+	if w != 0 || c != 0 {
+		t.Errorf("empty region cost %v/%v", w, c)
+	}
+}
+
+func TestDeltaCompReorderFactor(t *testing.T) {
+	f := int64(1_000_000)
+	fast := Delta.CompTime(f, true)
+	slow := Delta.CompTime(f, false)
+	if slow/fast < 1.9 || slow/fast > 2.1 {
+		t.Errorf("reordering factor = %v, want ~2 (paper: 2x)", slow/fast)
+	}
+}
+
+func TestDeltaCommLatencyVsBandwidth(t *testing.T) {
+	// Many small messages cost more than one aggregated message of the
+	// same volume — the rationale for PARTI's message packing.
+	many := Delta.CommTime(100, 80000, 1)
+	one := Delta.CommTime(1, 80000, 1)
+	if !(many > one) {
+		t.Errorf("aggregation should pay: %v vs %v", many, one)
+	}
+	if one <= float64(80000)/Delta.Bandwidth {
+		t.Errorf("single message should still pay latency")
+	}
+}

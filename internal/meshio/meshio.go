@@ -1,0 +1,270 @@
+// Package meshio reads and writes the on-disk artifacts of the solver
+// pipeline, mirroring the paper's file-based workflow (grids are generated
+// and partitioned in a sequential preprocessing phase, written out, and
+// read back by the solver; the reported C90 runs even include "the time to
+// read all grid files, write out the solution"). The formats are compact
+// little-endian binaries with a magic header and explicit counts.
+package meshio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/geom"
+	"eul3d/internal/mesh"
+)
+
+const (
+	meshMagic = "EUL3DM01"
+	solMagic  = "EUL3DS01"
+	partMagic = "EUL3DP01"
+)
+
+// WriteMesh serializes a finished mesh (vertices, tets, boundary faces
+// with kinds). Edge structures are rebuilt by Finish on load.
+func WriteMesh(w io.Writer, m *mesh.Mesh) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(meshMagic); err != nil {
+		return err
+	}
+	hdr := []int64{int64(m.NV()), int64(m.NT()), int64(len(m.BFaces))}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	for _, x := range m.X {
+		if err := binary.Write(bw, binary.LittleEndian, [3]float64{x.X, x.Y, x.Z}); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, m.Tets); err != nil {
+		return err
+	}
+	for _, f := range m.BFaces {
+		if err := binary.Write(bw, binary.LittleEndian, f.V); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(byte(f.Kind)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMesh deserializes a mesh and finishes it (rebuilding the edge-based
+// structures).
+func ReadMesh(r io.Reader) (*mesh.Mesh, error) {
+	br := bufio.NewReader(r)
+	if err := expectMagic(br, meshMagic); err != nil {
+		return nil, err
+	}
+	var hdr [3]int64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, err
+	}
+	nv, nt, nbf := hdr[0], hdr[1], hdr[2]
+	if nv < 0 || nt < 0 || nbf < 0 || nv > 1<<31 || nt > 1<<31 || nbf > 1<<31 {
+		return nil, fmt.Errorf("meshio: implausible header %v", hdr)
+	}
+	m := &mesh.Mesh{
+		X:    make([]geom.Vec3, nv),
+		Tets: make([][4]int32, nt),
+	}
+	for i := range m.X {
+		var x [3]float64
+		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
+			return nil, err
+		}
+		m.X[i] = geom.Vec3{X: x[0], Y: x[1], Z: x[2]}
+	}
+	if err := binary.Read(br, binary.LittleEndian, &m.Tets); err != nil {
+		return nil, err
+	}
+	m.BFaces = make([]mesh.BFace, nbf)
+	for i := range m.BFaces {
+		if err := binary.Read(br, binary.LittleEndian, &m.BFaces[i].V); err != nil {
+			return nil, err
+		}
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if kind > byte(mesh.Symmetry) {
+			return nil, fmt.Errorf("meshio: unknown boundary kind %d", kind)
+		}
+		m.BFaces[i].Kind = mesh.BCKind(kind)
+	}
+	if err := m.Finish(); err != nil {
+		return nil, fmt.Errorf("meshio: finishing loaded mesh: %w", err)
+	}
+	return m, nil
+}
+
+// WriteSolution serializes a flow solution with its reference condition.
+func WriteSolution(w io.Writer, mach, alphaDeg float64, sol []euler.State) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(solMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, []float64{mach, alphaDeg}); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(sol))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, sol); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadSolution deserializes a flow solution.
+func ReadSolution(r io.Reader) (mach, alphaDeg float64, sol []euler.State, err error) {
+	br := bufio.NewReader(r)
+	if err = expectMagic(br, solMagic); err != nil {
+		return
+	}
+	var ref [2]float64
+	if err = binary.Read(br, binary.LittleEndian, &ref); err != nil {
+		return
+	}
+	mach, alphaDeg = ref[0], ref[1]
+	var n int64
+	if err = binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return
+	}
+	if n < 0 || n > 1<<31 {
+		err = fmt.Errorf("meshio: implausible solution size %d", n)
+		return
+	}
+	sol = make([]euler.State, n)
+	err = binary.Read(br, binary.LittleEndian, &sol)
+	if err != nil {
+		return
+	}
+	for i := range sol {
+		if sol[i][0] <= 0 || math.IsNaN(sol[i][0]) {
+			err = fmt.Errorf("meshio: unphysical density at vertex %d", i)
+			return
+		}
+	}
+	return
+}
+
+// WritePartition serializes a processor assignment.
+func WritePartition(w io.Writer, nproc int, part []int32) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(partMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, []int64{int64(nproc), int64(len(part))}); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, part); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPartition deserializes a processor assignment, validating the range.
+func ReadPartition(r io.Reader) (nproc int, part []int32, err error) {
+	br := bufio.NewReader(r)
+	if err = expectMagic(br, partMagic); err != nil {
+		return
+	}
+	var hdr [2]int64
+	if err = binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return
+	}
+	if hdr[0] < 1 || hdr[1] < 0 || hdr[1] > 1<<31 {
+		err = fmt.Errorf("meshio: implausible partition header %v", hdr)
+		return
+	}
+	nproc = int(hdr[0])
+	part = make([]int32, hdr[1])
+	if err = binary.Read(br, binary.LittleEndian, &part); err != nil {
+		return
+	}
+	for g, p := range part {
+		if p < 0 || int(p) >= nproc {
+			err = fmt.Errorf("meshio: vertex %d assigned to invalid processor %d of %d", g, p, nproc)
+			return
+		}
+	}
+	return
+}
+
+// SaveMesh / LoadMesh / SaveSolution / LoadSolution / SavePartition /
+// LoadPartition are the file-path conveniences used by the commands.
+
+// SaveMesh writes m to path.
+func SaveMesh(path string, m *mesh.Mesh) error {
+	return withCreate(path, func(f *os.File) error { return WriteMesh(f, m) })
+}
+
+// LoadMesh reads a mesh from path.
+func LoadMesh(path string) (*mesh.Mesh, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMesh(f)
+}
+
+// SaveSolution writes a solution to path.
+func SaveSolution(path string, mach, alphaDeg float64, sol []euler.State) error {
+	return withCreate(path, func(f *os.File) error { return WriteSolution(f, mach, alphaDeg, sol) })
+}
+
+// LoadSolution reads a solution from path.
+func LoadSolution(path string) (mach, alphaDeg float64, sol []euler.State, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer f.Close()
+	return ReadSolution(f)
+}
+
+// SavePartition writes a partition to path.
+func SavePartition(path string, nproc int, part []int32) error {
+	return withCreate(path, func(f *os.File) error { return WritePartition(f, nproc, part) })
+}
+
+// LoadPartition reads a partition from path.
+func LoadPartition(path string) (int, []int32, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer f.Close()
+	return ReadPartition(f)
+}
+
+func withCreate(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func expectMagic(r io.Reader, magic string) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("meshio: reading magic: %w", err)
+	}
+	if string(buf) != magic {
+		return fmt.Errorf("meshio: bad magic %q, want %q", buf, magic)
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package meshio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+)
+
+// WriteVTK writes the mesh — and, when sol is non-nil, the flow solution
+// (density, pressure, Mach number, velocity) — as a legacy-format VTK
+// unstructured grid, viewable in ParaView and similar tools. This is the
+// modern stand-in for the plotting pipeline behind the paper's Figures 3
+// and 4. An optional vertex scalar field (e.g. a partition id) can be
+// attached via extra.
+func WriteVTK(w io.Writer, m *mesh.Mesh, g euler.Gas, sol []euler.State, extraName string, extra []float64) error {
+	if sol != nil && len(sol) != m.NV() {
+		return fmt.Errorf("meshio: solution has %d states for %d vertices", len(sol), m.NV())
+	}
+	if extra != nil && len(extra) != m.NV() {
+		return fmt.Errorf("meshio: extra field has %d values for %d vertices", len(extra), m.NV())
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vtk DataFile Version 3.0\nEUL3D unstructured grid\nASCII\nDATASET UNSTRUCTURED_GRID\n")
+	fmt.Fprintf(bw, "POINTS %d double\n", m.NV())
+	for _, x := range m.X {
+		fmt.Fprintf(bw, "%g %g %g\n", x.X, x.Y, x.Z)
+	}
+	fmt.Fprintf(bw, "CELLS %d %d\n", m.NT(), 5*m.NT())
+	for _, t := range m.Tets {
+		fmt.Fprintf(bw, "4 %d %d %d %d\n", t[0], t[1], t[2], t[3])
+	}
+	fmt.Fprintf(bw, "CELL_TYPES %d\n", m.NT())
+	for i := 0; i < m.NT(); i++ {
+		fmt.Fprintln(bw, 10) // VTK_TETRA
+	}
+
+	if sol != nil || extra != nil {
+		fmt.Fprintf(bw, "POINT_DATA %d\n", m.NV())
+	}
+	if sol != nil {
+		fmt.Fprintf(bw, "SCALARS density double 1\nLOOKUP_TABLE default\n")
+		for _, s := range sol {
+			fmt.Fprintf(bw, "%g\n", s[0])
+		}
+		fmt.Fprintf(bw, "SCALARS pressure double 1\nLOOKUP_TABLE default\n")
+		for _, s := range sol {
+			fmt.Fprintf(bw, "%g\n", g.Pressure(s))
+		}
+		fmt.Fprintf(bw, "SCALARS mach double 1\nLOOKUP_TABLE default\n")
+		for _, s := range sol {
+			fmt.Fprintf(bw, "%g\n", g.Mach(s))
+		}
+		fmt.Fprintf(bw, "VECTORS velocity double\n")
+		for _, s := range sol {
+			u, v, wz := g.Velocity(s)
+			fmt.Fprintf(bw, "%g %g %g\n", u, v, wz)
+		}
+	}
+	if extra != nil {
+		name := extraName
+		if name == "" {
+			name = "extra"
+		}
+		fmt.Fprintf(bw, "SCALARS %s double 1\nLOOKUP_TABLE default\n", name)
+		for _, v := range extra {
+			fmt.Fprintf(bw, "%g\n", v)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveVTK writes a VTK file to path.
+func SaveVTK(path string, m *mesh.Mesh, g euler.Gas, sol []euler.State, extraName string, extra []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteVTK(f, m, g, sol, extraName, extra); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,207 @@
+// Package multigrid implements the unstructured FAS multigrid solver of
+// EUL3D: a sequence of completely unrelated (non-nested) tetrahedral
+// meshes, inter-grid transfers defined by four interpolation addresses and
+// four weights per vertex computed in a preprocessing phase with a
+// graph-traversal (walk) search, and V- and W-cycle drivers built on the
+// single-grid five-stage Runge-Kutta scheme.
+package multigrid
+
+import (
+	"fmt"
+	"math"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/geom"
+	"eul3d/internal/mesh"
+)
+
+// TransferOp interpolates vertex data from a source mesh onto the vertices
+// of a target mesh. For each target vertex it stores the four vertices of
+// the source tetrahedron containing it and the corresponding barycentric
+// weights — the "four interpolation addresses and four interpolation
+// weights for each vertex" of Section 2.3.
+type TransferOp struct {
+	Addr [][4]int32
+	Wt   [][4]float64
+}
+
+// tetAdjacency returns, for each tet, its up to four face-neighbours
+// (-1 where the face is on the boundary). Neighbour k is across the face
+// opposite vertex k.
+func tetAdjacency(m *mesh.Mesh) [][4]int32 {
+	type slot struct {
+		tet  int32
+		face int8
+	}
+	faceOf := func(t [4]int32, k int) [3]int32 {
+		var f [3]int32
+		idx := 0
+		for i := 0; i < 4; i++ {
+			if i != k {
+				f[idx] = t[i]
+				idx++
+			}
+		}
+		// sort 3
+		if f[0] > f[1] {
+			f[0], f[1] = f[1], f[0]
+		}
+		if f[1] > f[2] {
+			f[1], f[2] = f[2], f[1]
+		}
+		if f[0] > f[1] {
+			f[0], f[1] = f[1], f[0]
+		}
+		return f
+	}
+	adj := make([][4]int32, m.NT())
+	for i := range adj {
+		adj[i] = [4]int32{-1, -1, -1, -1}
+	}
+	open := make(map[[3]int32]slot, 2*m.NT())
+	for ti, tet := range m.Tets {
+		for k := 0; k < 4; k++ {
+			f := faceOf(tet, k)
+			if s, ok := open[f]; ok {
+				adj[ti][k] = s.tet
+				adj[s.tet][s.face] = int32(ti)
+				delete(open, f)
+			} else {
+				open[f] = slot{int32(ti), int8(k)}
+			}
+		}
+	}
+	return adj
+}
+
+// walkTol is the barycentric slack accepted as containment during the walk
+// search: non-nested grids only overlap approximately near curved walls.
+const walkTol = 1e-9
+
+// BuildTransfer locates every vertex of target inside source and returns
+// the interpolation operator. The search walks the tet adjacency graph of
+// the source mesh: from a starting guess, it repeatedly crosses the face
+// whose barycentric coordinate is most negative, which converges in O(n^(1/3))
+// steps on well-shaped meshes. Points slightly outside the source mesh
+// (non-nested boundaries) snap to the best tet encountered, with clamped
+// and renormalized weights. The cost of this preprocessing is comparable to
+// one or two flow solution cycles, as the paper reports.
+func BuildTransfer(target, source *mesh.Mesh) (*TransferOp, error) {
+	if source.NT() == 0 {
+		return nil, fmt.Errorf("multigrid: source mesh has no tets")
+	}
+	adj := tetAdjacency(source)
+	op := &TransferOp{
+		Addr: make([][4]int32, target.NV()),
+		Wt:   make([][4]float64, target.NV()),
+	}
+
+	bary := func(t int32, p geom.Vec3) ([4]float64, bool) {
+		tet := source.Tets[t]
+		return geom.Barycentric(p, source.X[tet[0]], source.X[tet[1]], source.X[tet[2]], source.X[tet[3]])
+	}
+
+	start := int32(0)
+	maxSteps := 4 * source.NT() // generous cycle guard
+	for v := 0; v < target.NV(); v++ {
+		p := target.X[v]
+		cur := start
+		bestTet := cur
+		bestMin := math.Inf(-1)
+		var bestL [4]float64
+		found := false
+		for step := 0; step < maxSteps; step++ {
+			l, ok := bary(cur, p)
+			if !ok {
+				break // degenerate tet; fall through to brute force
+			}
+			minK, minV := 0, l[0]
+			for k := 1; k < 4; k++ {
+				if l[k] < minV {
+					minK, minV = k, l[k]
+				}
+			}
+			if minV > bestMin {
+				bestMin, bestTet, bestL = minV, cur, l
+			}
+			if minV >= -walkTol {
+				found = true
+				break
+			}
+			next := adj[cur][minK]
+			if next < 0 {
+				break // walked off the mesh: p is outside; snap to best
+			}
+			cur = next
+		}
+		if !found && bestMin == math.Inf(-1) {
+			// Walk never evaluated a valid tet: brute-force fallback.
+			for t := int32(0); int(t) < source.NT(); t++ {
+				if l, ok := bary(t, p); ok {
+					minV := math.Min(math.Min(l[0], l[1]), math.Min(l[2], l[3]))
+					if minV > bestMin {
+						bestMin, bestTet, bestL = minV, t, l
+					}
+				}
+			}
+			if bestMin == math.Inf(-1) {
+				return nil, fmt.Errorf("multigrid: all source tets degenerate")
+			}
+		}
+		// Clamp and renormalize weights: exact inside the mesh, a nearest
+		// projection for slightly-outside points.
+		sum := 0.0
+		for k := 0; k < 4; k++ {
+			bestL[k] = geom.Clamp(bestL[k], 0, 1)
+			sum += bestL[k]
+		}
+		for k := 0; k < 4; k++ {
+			bestL[k] /= sum
+		}
+		tet := source.Tets[bestTet]
+		op.Addr[v] = tet
+		op.Wt[v] = bestL
+		start = bestTet // next target vertex is usually nearby
+	}
+	return op, nil
+}
+
+// Interp evaluates dst[v] = sum_k Wt[v][k] * src[Addr[v][k]] for every
+// target vertex. Used to restrict flow variables to a coarse grid and to
+// prolong corrections to a fine grid.
+func (op *TransferOp) Interp(src, dst []euler.State) {
+	for v := range op.Addr {
+		a, w := op.Addr[v], op.Wt[v]
+		var s euler.State
+		for k := 0; k < 4; k++ {
+			sv := src[a[k]]
+			f := w[k]
+			for c := 0; c < euler.NVar; c++ {
+				s[c] += f * sv[c]
+			}
+		}
+		dst[v] = s
+	}
+}
+
+// ScatterTranspose applies the transpose of Interp: each source-of-Interp
+// vertex value src[v] (v indexing the op's *target* mesh) is distributed
+// onto dst at the four interpolation addresses with the same weights. With
+// op built fine-vertices-in-coarse-mesh this is the conservative residual
+// restriction: sum(dst) == sum(src). dst is zeroed first.
+func (op *TransferOp) ScatterTranspose(src, dst []euler.State) {
+	for i := range dst {
+		dst[i] = euler.State{}
+	}
+	for v := range op.Addr {
+		a, w := op.Addr[v], op.Wt[v]
+		sv := src[v]
+		for k := 0; k < 4; k++ {
+			f := w[k]
+			d := &dst[a[k]]
+			for c := 0; c < euler.NVar; c++ {
+				d[c] += f * sv[c]
+			}
+		}
+	}
+}

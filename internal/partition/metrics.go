@@ -1,0 +1,68 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+)
+
+// Quality summarizes how good a partition is for distributed execution:
+// the edge cut drives communication volume, the imbalance drives idle time,
+// and the boundary fraction is the surface-to-volume ratio the paper's
+// partitioner minimizes.
+type Quality struct {
+	NParts        int
+	EdgeCut       int     // edges with endpoints in different parts
+	CutFraction   float64 // EdgeCut / total edges
+	MaxPartSize   int
+	MinPartSize   int
+	Imbalance     float64 // MaxPartSize / ideal - 1
+	BoundaryVerts int     // vertices with a neighbour in another part
+	BoundaryFrac  float64 // BoundaryVerts / n
+}
+
+// Evaluate computes partition quality for a vertex partition over the edge
+// list of the mesh graph.
+func Evaluate(part []int32, edges [][2]int32, nparts int) Quality {
+	q := Quality{NParts: nparts, MinPartSize: math.MaxInt}
+	sizes := make([]int, nparts)
+	for _, p := range part {
+		sizes[p]++
+	}
+	for _, s := range sizes {
+		if s > q.MaxPartSize {
+			q.MaxPartSize = s
+		}
+		if s < q.MinPartSize {
+			q.MinPartSize = s
+		}
+	}
+	boundary := make([]bool, len(part))
+	for _, e := range edges {
+		if part[e[0]] != part[e[1]] {
+			q.EdgeCut++
+			boundary[e[0]] = true
+			boundary[e[1]] = true
+		}
+	}
+	for _, b := range boundary {
+		if b {
+			q.BoundaryVerts++
+		}
+	}
+	if len(edges) > 0 {
+		q.CutFraction = float64(q.EdgeCut) / float64(len(edges))
+	}
+	if len(part) > 0 {
+		ideal := float64(len(part)) / float64(nparts)
+		q.Imbalance = float64(q.MaxPartSize)/ideal - 1
+		q.BoundaryFrac = float64(q.BoundaryVerts) / float64(len(part))
+	}
+	return q
+}
+
+// String formats the quality report on one line.
+func (q Quality) String() string {
+	return fmt.Sprintf("parts=%d cut=%d (%.1f%%) sizes=[%d,%d] imbalance=%.1f%% boundary=%.1f%%",
+		q.NParts, q.EdgeCut, 100*q.CutFraction, q.MinPartSize, q.MaxPartSize,
+		100*q.Imbalance, 100*q.BoundaryFrac)
+}

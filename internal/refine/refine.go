@@ -1,0 +1,161 @@
+// Package refine implements the mesh-refinement capability the paper
+// points to in Section 2.3 — "since no relation is assumed between the
+// various meshes in the multigrid sequence, new finer meshes can be
+// introduced by adaptive refinement" — and lists as future work. Uniform
+// regular (red) refinement splits every tetrahedron into eight: four
+// corner tets plus an interior octahedron cut into four along its shortest
+// diagonal. Edge midpoints are shared, so the refined mesh is conforming,
+// and every boundary triangle splits into four children that inherit their
+// parent's boundary kind. The refined mesh slots directly on top of an
+// existing multigrid sequence through the standard (non-nested) transfer
+// operators.
+package refine
+
+import (
+	"fmt"
+	"math"
+
+	"eul3d/internal/geom"
+	"eul3d/internal/mesh"
+)
+
+// midpointTable assigns one new vertex per unique parent edge.
+type midpointTable struct {
+	ids  map[uint64]int32
+	next int32
+}
+
+func edgeKey(a, b int32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+func (t *midpointTable) id(a, b int32) int32 {
+	k := edgeKey(a, b)
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id := t.next
+	t.ids[k] = id
+	t.next++
+	return id
+}
+
+// Uniform returns the regular refinement of m: 8x the tetrahedra, 4x the
+// boundary faces, with vertices = parent vertices followed by edge
+// midpoints. The output mesh is finished and conforming.
+func Uniform(m *mesh.Mesh) (*mesh.Mesh, error) {
+	if m.NT() == 0 {
+		return nil, fmt.Errorf("refine: empty mesh")
+	}
+	nv := int32(m.NV())
+	mt := &midpointTable{ids: make(map[uint64]int32, 7*m.NV()), next: nv}
+	mid := func(a, b int32) geom.Vec3 { return m.X[a].Add(m.X[b]).Scale(0.5) }
+
+	out := &mesh.Mesh{Tets: make([][4]int32, 0, 8*m.NT())}
+	for _, tet := range m.Tets {
+		a, b, c, d := tet[0], tet[1], tet[2], tet[3]
+		ab, ac, ad := mt.id(a, b), mt.id(a, c), mt.id(a, d)
+		bc, bd, cd := mt.id(b, c), mt.id(b, d), mt.id(c, d)
+
+		// Four corner tets.
+		out.Tets = append(out.Tets,
+			[4]int32{a, ab, ac, ad},
+			[4]int32{ab, b, bc, bd},
+			[4]int32{ac, bc, c, cd},
+			[4]int32{ad, bd, cd, d},
+		)
+
+		// Interior octahedron: cut along its shortest diagonal. For a
+		// diagonal (m1,m2) the other four midpoints form an equatorial
+		// 4-cycle (e1,e2,e3,e4); the cut yields tets (m1,m2,ei,ei+1).
+		dAB := mid(a, b).Sub(mid(c, d)).Norm()
+		dAC := mid(a, c).Sub(mid(b, d)).Norm()
+		dAD := mid(a, d).Sub(mid(b, c)).Norm()
+		var m1, m2 int32
+		var eq [4]int32
+		switch {
+		case dAB <= dAC && dAB <= dAD:
+			m1, m2, eq = ab, cd, [4]int32{ac, ad, bd, bc}
+		case dAC <= dAB && dAC <= dAD:
+			m1, m2, eq = ac, bd, [4]int32{ab, ad, cd, bc}
+		default:
+			m1, m2, eq = ad, bc, [4]int32{ab, ac, cd, bd}
+		}
+		for k := 0; k < 4; k++ {
+			out.Tets = append(out.Tets, [4]int32{m1, m2, eq[k], eq[(k+1)%4]})
+		}
+	}
+
+	// Coordinates: parents then midpoints.
+	out.X = make([]geom.Vec3, mt.next)
+	copy(out.X, m.X)
+	for k, id := range mt.ids {
+		a := int32(k >> 32)
+		b := int32(k & 0xffffffff)
+		out.X[id] = m.X[a].Add(m.X[b]).Scale(0.5)
+	}
+
+	// Orientation repair: the equator ordering fixes the topology but not
+	// the sign; flip children with negative volume.
+	for ti, tet := range out.Tets {
+		if geom.TetVolume(out.X[tet[0]], out.X[tet[1]], out.X[tet[2]], out.X[tet[3]]) < 0 {
+			out.Tets[ti][0], out.Tets[ti][1] = out.Tets[ti][1], out.Tets[ti][0]
+		}
+	}
+
+	// Boundary faces: quarter each triangle, inheriting the kind and the
+	// outward orientation.
+	out.BFaces = make([]mesh.BFace, 0, 4*len(m.BFaces))
+	for _, f := range m.BFaces {
+		a, b, c := f.V[0], f.V[1], f.V[2]
+		ab, bc, ca := mt.id(a, b), mt.id(b, c), mt.id(c, a)
+		for _, child := range [4][3]int32{
+			{a, ab, ca},
+			{ab, b, bc},
+			{ca, bc, c},
+			{ab, bc, ca},
+		} {
+			out.BFaces = append(out.BFaces, mesh.BFace{V: child, Kind: f.Kind})
+		}
+	}
+
+	if err := out.Finish(); err != nil {
+		return nil, fmt.Errorf("refine: %w", err)
+	}
+	return out, nil
+}
+
+// QualityStats summarizes tetrahedron shape quality.
+type QualityStats struct {
+	Min, Mean float64
+}
+
+// Quality computes shape-quality statistics using the volume-to-edge
+// measure q = 6*sqrt(2)*V / l_rms^3, which equals 1 for the regular
+// tetrahedron and approaches 0 for slivers. Regular refinement must not
+// degrade the minimum quality by more than a bounded factor.
+func Quality(m *mesh.Mesh) QualityStats {
+	norm := 6 * math.Sqrt2
+	stats := QualityStats{Min: math.Inf(1)}
+	for _, tet := range m.Tets {
+		a, b, c, d := m.X[tet[0]], m.X[tet[1]], m.X[tet[2]], m.X[tet[3]]
+		v := math.Abs(geom.TetVolume(a, b, c, d))
+		l2 := a.Sub(b).Dot(a.Sub(b)) + a.Sub(c).Dot(a.Sub(c)) + a.Sub(d).Dot(a.Sub(d)) +
+			b.Sub(c).Dot(b.Sub(c)) + b.Sub(d).Dot(b.Sub(d)) + c.Sub(d).Dot(c.Sub(d))
+		lrms := math.Sqrt(l2 / 6)
+		q := norm * v / (lrms * lrms * lrms)
+		if q < stats.Min {
+			stats.Min = q
+		}
+		stats.Mean += q
+	}
+	if n := len(m.Tets); n > 0 {
+		stats.Mean /= float64(n)
+	} else {
+		stats.Min = 0
+	}
+	return stats
+}

@@ -1,0 +1,235 @@
+package refine
+
+import (
+	"math"
+	"testing"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/geom"
+	"eul3d/internal/mesh"
+	"eul3d/internal/meshgen"
+	"eul3d/internal/multigrid"
+)
+
+func parent(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m, err := meshgen.Channel(meshgen.DefaultChannel(8, 5, 4, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestUniformCounts(t *testing.T) {
+	m := parent(t)
+	r, err := Uniform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NT() != 8*m.NT() {
+		t.Errorf("tets: %d, want %d", r.NT(), 8*m.NT())
+	}
+	if r.NV() != m.NV()+m.NE() {
+		t.Errorf("vertices: %d, want %d", r.NV(), m.NV()+m.NE())
+	}
+	if len(r.BFaces) != 4*len(m.BFaces) {
+		t.Errorf("bfaces: %d, want %d", len(r.BFaces), 4*len(m.BFaces))
+	}
+}
+
+func TestUniformConservesVolume(t *testing.T) {
+	m := parent(t)
+	r, err := Uniform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	volOf := func(mm *mesh.Mesh) float64 {
+		s := 0.0
+		for _, v := range mm.Vol {
+			s += v
+		}
+		return s
+	}
+	vp, vr := volOf(m), volOf(r)
+	if math.Abs(vp-vr) > 1e-10*vp {
+		t.Errorf("volume not conserved: %g vs %g", vp, vr)
+	}
+}
+
+func TestUniformConforming(t *testing.T) {
+	// The dual-cell closure check fails on non-conforming meshes or wrong
+	// boundary orientation, so Validate is the conformity test.
+	m := parent(t)
+	r, err := Uniform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformPreservesBoundaryKinds(t *testing.T) {
+	m := parent(t)
+	r, err := Uniform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := func(mm *mesh.Mesh) map[mesh.BCKind]int {
+		c := map[mesh.BCKind]int{}
+		for _, f := range mm.BFaces {
+			c[f.Kind]++
+		}
+		return c
+	}
+	cp, cr := counts(m), counts(r)
+	for k, n := range cp {
+		if cr[k] != 4*n {
+			t.Errorf("kind %v: %d children, want %d", k, cr[k], 4*n)
+		}
+	}
+}
+
+func TestUniformQualityBounded(t *testing.T) {
+	m := parent(t)
+	qp := Quality(m)
+	r, err := Uniform(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qr := Quality(r)
+	if qr.Min <= 0 {
+		t.Fatalf("refined mesh contains degenerate tets: min quality %g", qr.Min)
+	}
+	// Regular refinement cannot collapse quality arbitrarily; allow a
+	// factor-3 degradation margin over the parent.
+	if qr.Min < qp.Min/3 {
+		t.Errorf("quality collapsed: parent min %.3f, refined min %.3f", qp.Min, qr.Min)
+	}
+	t.Logf("quality: parent min/mean %.3f/%.3f -> refined %.3f/%.3f", qp.Min, qp.Mean, qr.Min, qr.Mean)
+}
+
+func TestRefinedMeshAsNewFinestLevel(t *testing.T) {
+	// Section 2.3's scenario: introduce a refined mesh on top of an
+	// existing sequence and run multigrid with the standard non-nested
+	// transfers.
+	spec := meshgen.DefaultChannel(6, 4, 3, 17)
+	coarse, err := meshgen.Channel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Uniform(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := multigrid.New([]*mesh.Mesh{fine, coarse}, euler.DefaultParams(0.5, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for c := 0; c < 5; c++ {
+		norm = mg.Cycle()
+	}
+	if math.IsNaN(norm) || math.IsInf(norm, 0) {
+		t.Fatalf("solver diverged on refined sequence: %v", norm)
+	}
+}
+
+func TestUniformEmptyMesh(t *testing.T) {
+	if _, err := Uniform(&mesh.Mesh{}); err == nil {
+		t.Error("accepted empty mesh")
+	}
+}
+
+func TestQualityRegularTet(t *testing.T) {
+	// A regular tetrahedron has quality 1 by construction of the measure.
+	s := 1 / math.Sqrt2
+	m := &mesh.Mesh{
+		X: []geom.Vec3{
+			{X: 1, Y: 0, Z: -s},
+			{X: -1, Y: 0, Z: -s},
+			{X: 0, Y: 1, Z: s},
+			{X: 0, Y: -1, Z: s},
+		},
+		Tets: [][4]int32{{0, 1, 2, 3}},
+	}
+	q := Quality(m)
+	if math.Abs(q.Min-1) > 1e-12 || math.Abs(q.Mean-1) > 1e-12 {
+		t.Errorf("regular tet quality = %+v", q)
+	}
+	if e := Quality(&mesh.Mesh{}); e.Min != 0 {
+		t.Errorf("empty mesh quality = %+v", e)
+	}
+}
+
+// TestGridConvergenceEntropyError is the classical accuracy validation:
+// subcritical inviscid flow is isentropic, so any deviation of p/rho^gamma
+// from its freestream value is discretization error. One round of regular
+// refinement must shrink the L2 entropy error substantially (the scheme is
+// nominally second order; boundary lumping reduces the observed rate).
+func TestGridConvergenceEntropyError(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := meshgen.DefaultChannel(12, 8, 6, 3)
+	spec.BumpHeight = 0.03 // gentle, well-resolved, subcritical at M=0.5
+	coarse, err := meshgen.Channel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := Uniform(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := euler.DefaultParams(0.5, 0)
+	g := p.Gas
+	sFree := g.Pressure(p.Freestream) // rho=1 so s = p/rho^gamma = p
+
+	// Measure away from the walls: the weak wall boundary condition
+	// produces a first-order entropy layer (a known property of
+	// vertex-centered central schemes) that would mask the interior
+	// order of accuracy.
+	entropyErr := func(m *mesh.Mesh, w []euler.State) float64 {
+		num, den := 0.0, 0.0
+		for i := range w {
+			x := m.X[i]
+			if x.Y < 0.3 || x.Y > 0.85 || x.X < 0.5 || x.X > 2.5 {
+				continue
+			}
+			s := g.Pressure(w[i]) / math.Pow(w[i][0], g.Gamma)
+			d := s - sFree
+			num += d * d * m.Vol[i]
+			den += m.Vol[i]
+		}
+		return math.Sqrt(num / den)
+	}
+
+	solve := func(meshes []*mesh.Mesh) []euler.State {
+		mg, err := multigrid.New(meshes, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first, norm float64
+		for c := 0; c < 600; c++ {
+			norm = mg.Cycle()
+			if c == 0 {
+				first = norm
+			}
+			if norm < 1e-8*first {
+				break
+			}
+		}
+		if norm > 1e-6*first {
+			t.Fatalf("solve did not converge: %g of %g", norm, first)
+		}
+		return mg.Fine().W
+	}
+
+	coarseErr := entropyErr(coarse, solve([]*mesh.Mesh{coarse}))
+	fineErr := entropyErr(fine, solve([]*mesh.Mesh{fine, coarse}))
+	order := math.Log2(coarseErr / fineErr)
+	t.Logf("entropy error: h %.3e -> h/2 %.3e (observed order %.2f)", coarseErr, fineErr, order)
+	if !(fineErr < coarseErr/1.7) {
+		t.Errorf("refinement did not reduce entropy error enough: %g -> %g", coarseErr, fineErr)
+	}
+}

@@ -1,0 +1,54 @@
+package reorder
+
+import (
+	"fmt"
+
+	"eul3d/internal/geom"
+	"eul3d/internal/graph"
+	"eul3d/internal/mesh"
+)
+
+// ApplyToMesh returns a copy of m with vertices renumbered by perm
+// (perm[new] = old) and the edge-based structures rebuilt by Finish.
+// Per-vertex data indexed by the old numbering maps to the new one through
+// InversePerm.
+func ApplyToMesh(m *mesh.Mesh, perm []int32) (*mesh.Mesh, error) {
+	if len(perm) != m.NV() {
+		return nil, fmt.Errorf("reorder: permutation length %d != vertex count %d", len(perm), m.NV())
+	}
+	inv := InversePerm(perm)
+	out := &mesh.Mesh{
+		X:      make([]geom.Vec3, m.NV()),
+		Tets:   make([][4]int32, m.NT()),
+		BFaces: make([]mesh.BFace, len(m.BFaces)),
+	}
+	for newID, old := range perm {
+		out.X[newID] = m.X[old]
+	}
+	for ti, tet := range m.Tets {
+		for k := 0; k < 4; k++ {
+			out.Tets[ti][k] = inv[tet[k]]
+		}
+	}
+	for fi, f := range m.BFaces {
+		out.BFaces[fi].Kind = f.Kind
+		for k := 0; k < 3; k++ {
+			out.BFaces[fi].V[k] = inv[f.V[k]]
+		}
+	}
+	if err := out.Finish(); err != nil {
+		return nil, fmt.Errorf("reorder: %w", err)
+	}
+	return out, nil
+}
+
+// RCMMesh renumbers a finished mesh with reverse Cuthill–McKee — the
+// paper's node renumbering, which places data of mesh-adjacent nodes in
+// nearby memory locations.
+func RCMMesh(m *mesh.Mesh) (*mesh.Mesh, error) {
+	g, err := graph.FromEdges(m.NV(), m.Edges)
+	if err != nil {
+		return nil, err
+	}
+	return ApplyToMesh(m, CuthillMcKee(g, true))
+}

@@ -1,0 +1,77 @@
+package reorder
+
+import (
+	"testing"
+
+	"eul3d/internal/graph"
+	"eul3d/internal/meshgen"
+)
+
+func TestApplyToMeshPreservesGeometry(t *testing.T) {
+	m, err := meshgen.Channel(meshgen.DefaultChannel(6, 4, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.FromEdges(m.NV(), m.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := CuthillMcKee(g, true)
+	r, err := ApplyToMesh(m, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NV() != m.NV() || r.NT() != m.NT() || r.NE() != m.NE() {
+		t.Fatalf("counts changed: %d/%d/%d", r.NV(), r.NT(), r.NE())
+	}
+	// Total volume and per-vertex dual volumes (under the permutation)
+	// must be preserved exactly.
+	inv := InversePerm(perm)
+	for old := range m.Vol {
+		if m.Vol[old] != r.Vol[inv[old]] {
+			t.Fatalf("dual volume of old vertex %d changed", old)
+		}
+	}
+	if err := r.Validate(1e-10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyToMeshRejectsBadPerm(t *testing.T) {
+	m, err := meshgen.Channel(meshgen.DefaultChannel(3, 3, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ApplyToMesh(m, []int32{0, 1, 2}); err == nil {
+		t.Error("accepted short permutation")
+	}
+}
+
+func TestRCMMeshReducesBandwidth(t *testing.T) {
+	m, err := meshgen.Channel(meshgen.DefaultChannel(10, 6, 4, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scramble first so RCM has something to fix.
+	perm := make([]int32, m.NV())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	for i := len(perm) - 1; i > 0; i-- {
+		j := (i*2654435761 + 17) % (i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	sm, err := ApplyToMesh(m, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := RCMMesh(sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBefore, _ := graph.FromEdges(sm.NV(), sm.Edges)
+	gAfter, _ := graph.FromEdges(rm.NV(), rm.Edges)
+	if gAfter.Bandwidth() >= gBefore.Bandwidth() {
+		t.Errorf("RCM did not reduce bandwidth: %d -> %d", gBefore.Bandwidth(), gAfter.Bandwidth())
+	}
+}

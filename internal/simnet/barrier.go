@@ -1,0 +1,57 @@
+package simnet
+
+import "sync"
+
+// Barrier is a reusable (cyclic) synchronization barrier for n parties —
+// the bulk-synchronous structure of the distributed solver's concurrent
+// MIMD mode: all processors send, barrier, all receive, barrier.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     uint64
+	verdict bool
+}
+
+// NewBarrier creates a barrier for n parties (n >= 1).
+func NewBarrier(n int) *Barrier {
+	b := &Barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all n parties have called Await, then releases them
+// all; the barrier is immediately reusable for the next phase.
+func (b *Barrier) Await() {
+	b.AwaitCheck(nil)
+}
+
+// AwaitCheck is Await with a consistent verdict: when the last party
+// arrives it evaluates check once, and every released party receives that
+// same value. This is how bulk-synchronous error handling stays in
+// lockstep — a health flag read *after* a barrier individually could be
+// flipped by a fast party that already ran ahead into the next phase,
+// leaving slow parties to bail while fast ones wait at the next barrier.
+// The verdict field is safe to reuse across generations because the next
+// release cannot happen until every party of this generation has returned.
+func (b *Barrier) AwaitCheck(check func() bool) bool {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.verdict = check == nil || check()
+		v := b.verdict
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return v
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	v := b.verdict
+	b.mu.Unlock()
+	return v
+}

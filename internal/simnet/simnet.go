@@ -1,0 +1,130 @@
+// Package simnet provides the in-process message-passing fabric that stands
+// in for the Intel Touchstone Delta's NX interconnect. Each endpoint
+// (simulated processor node) has a mailbox per peer; sends enqueue packed
+// float payloads, receives dequeue them in FIFO order. The fabric counts
+// messages and bytes per endpoint so the Delta machine model can convert
+// real communication volume into simulated time, and so tests can assert
+// the paper's message-aggregation claims.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Fabric is a fully-connected message network between N endpoints.
+type Fabric struct {
+	n      int
+	mu     []sync.Mutex  // one per destination endpoint
+	queues [][][]float64 // queues[dst][src] = FIFO of payloads
+
+	statMu    sync.Mutex
+	msgsSent  []int64
+	bytesSent []int64
+	msgsRecv  []int64
+	bytesRecv []int64
+}
+
+// New creates a fabric with n endpoints.
+func New(n int) *Fabric {
+	f := &Fabric{
+		n:         n,
+		mu:        make([]sync.Mutex, n),
+		queues:    make([][][]float64, n),
+		msgsSent:  make([]int64, n),
+		bytesSent: make([]int64, n),
+		msgsRecv:  make([]int64, n),
+		bytesRecv: make([]int64, n),
+	}
+	return f
+}
+
+// N returns the number of endpoints.
+func (f *Fabric) N() int { return f.n }
+
+// Send enqueues payload from src to dst. The payload is copied into the
+// message, so callers may reuse their buffer immediately. Messages between
+// the same pair are delivered in order.
+func (f *Fabric) Send(src, dst int, payload []float64) error {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
+		return fmt.Errorf("simnet: send %d->%d out of range [0,%d)", src, dst, f.n)
+	}
+	f.mu[dst].Lock()
+	f.queues[dst] = append(f.queues[dst], append([]float64{float64(src)}, payload...))
+	f.mu[dst].Unlock()
+
+	f.statMu.Lock()
+	f.msgsSent[src]++
+	f.bytesSent[src] += int64(8 * len(payload))
+	f.statMu.Unlock()
+	return nil
+}
+
+// Recv dequeues the oldest pending message to dst from src. It returns an
+// error if no such message is pending (the executors in this repository
+// always send before receiving, so a missing message is a protocol bug,
+// not a race).
+func (f *Fabric) Recv(dst, src int) ([]float64, error) {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
+		return nil, fmt.Errorf("simnet: recv %d<-%d out of range [0,%d)", dst, src, f.n)
+	}
+	f.mu[dst].Lock()
+	defer f.mu[dst].Unlock()
+	for i, m := range f.queues[dst] {
+		if int(m[0]) == src {
+			f.queues[dst] = append(f.queues[dst][:i], f.queues[dst][i+1:]...)
+			f.statMu.Lock()
+			f.msgsRecv[dst]++
+			f.bytesRecv[dst] += int64(8 * (len(m) - 1))
+			f.statMu.Unlock()
+			return m[1:], nil
+		}
+	}
+	return nil, fmt.Errorf("simnet: no pending message %d<-%d", dst, src)
+}
+
+// Pending returns the number of undelivered messages destined to dst.
+func (f *Fabric) Pending(dst int) int {
+	f.mu[dst].Lock()
+	defer f.mu[dst].Unlock()
+	return len(f.queues[dst])
+}
+
+// Stats returns total messages and bytes sent by endpoint p since the last
+// ResetStats.
+func (f *Fabric) Stats(p int) (msgs, bytes int64) {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	return f.msgsSent[p], f.bytesSent[p]
+}
+
+// RecvStats returns total messages and bytes received by endpoint p since
+// the last ResetStats.
+func (f *Fabric) RecvStats(p int) (msgs, bytes int64) {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	return f.msgsRecv[p], f.bytesRecv[p]
+}
+
+// TotalStats returns fabric-wide message and byte counts.
+func (f *Fabric) TotalStats() (msgs, bytes int64) {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	for p := 0; p < f.n; p++ {
+		msgs += f.msgsSent[p]
+		bytes += f.bytesSent[p]
+	}
+	return
+}
+
+// ResetStats zeroes all counters.
+func (f *Fabric) ResetStats() {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	for p := range f.msgsSent {
+		f.msgsSent[p] = 0
+		f.bytesSent[p] = 0
+		f.msgsRecv[p] = 0
+		f.bytesRecv[p] = 0
+	}
+}

@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSendRecvFIFO(t *testing.T) {
+	f := New(3)
+	if err := f.Send(0, 1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(0, 1, []float64{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(2, 1, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Recv(1, 0)
+	if err != nil || len(m) != 2 || m[0] != 1 {
+		t.Fatalf("recv1: %v %v", m, err)
+	}
+	m, err = f.Recv(1, 2)
+	if err != nil || m[0] != 9 {
+		t.Fatalf("recv from 2: %v %v", m, err)
+	}
+	m, err = f.Recv(1, 0)
+	if err != nil || m[0] != 3 {
+		t.Fatalf("recv2: %v %v", m, err)
+	}
+	if f.Pending(1) != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+func TestRecvMissing(t *testing.T) {
+	f := New(2)
+	if _, err := f.Recv(0, 1); err == nil {
+		t.Error("expected error on empty recv")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	f := New(2)
+	if err := f.Send(-1, 0, nil); err == nil {
+		t.Error("accepted bad src")
+	}
+	if err := f.Send(0, 5, nil); err == nil {
+		t.Error("accepted bad dst")
+	}
+	if _, err := f.Recv(5, 0); err == nil {
+		t.Error("accepted bad recv dst")
+	}
+}
+
+func TestStats(t *testing.T) {
+	f := New(2)
+	_ = f.Send(0, 1, make([]float64, 10))
+	_ = f.Send(0, 1, make([]float64, 5))
+	msgs, bytes := f.Stats(0)
+	if msgs != 2 || bytes != 8*15 {
+		t.Errorf("stats = %d msgs %d bytes", msgs, bytes)
+	}
+	tm, tb := f.TotalStats()
+	if tm != 2 || tb != 120 {
+		t.Errorf("totals = %d %d", tm, tb)
+	}
+	f.ResetStats()
+	if m, b := f.Stats(0); m != 0 || b != 0 {
+		t.Error("reset did not clear stats")
+	}
+}
+
+func TestBarrierAwaitCheckConsistentVerdict(t *testing.T) {
+	// All parties must receive the verdict evaluated by the last arriver,
+	// even when the condition changes immediately afterwards.
+	const n = 6
+	b := NewBarrier(n)
+	var mu sync.Mutex
+	healthy := true
+	results := make(chan bool, n)
+	for p := 0; p < n; p++ {
+		go func(p int) {
+			v := b.AwaitCheck(func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return healthy
+			})
+			if p == 0 {
+				// Flip the flag right after release: later readers of the
+				// verdict must still see the snapshot.
+				mu.Lock()
+				healthy = false
+				mu.Unlock()
+			}
+			results <- v
+		}(p)
+	}
+	for p := 0; p < n; p++ {
+		if v := <-results; !v {
+			t.Fatal("verdict should be the healthy snapshot for every party")
+		}
+	}
+	// Next generation: everyone must now agree on false.
+	for p := 0; p < n; p++ {
+		go func() {
+			results <- b.AwaitCheck(func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return healthy
+			})
+		}()
+	}
+	for p := 0; p < n; p++ {
+		if v := <-results; v {
+			t.Fatal("second-generation verdict should be false for every party")
+		}
+	}
+}

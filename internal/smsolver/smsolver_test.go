@@ -1,0 +1,150 @@
+package smsolver
+
+import (
+	"math"
+	"testing"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+	"eul3d/internal/meshgen"
+)
+
+func testMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m, err := meshgen.Channel(meshgen.DefaultChannel(12, 8, 6, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestBitwiseIdenticalAcrossWorkers(t *testing.T) {
+	m := testMesh(t)
+	p := euler.DefaultParams(0.675, 0)
+
+	var ref []euler.State
+	var refNorms []float64
+	for _, nw := range []int{1, 2, 3, 8} {
+		s, err := New(m, p, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := make([]euler.State, m.NV())
+		s.InitUniform(w)
+		var norms []float64
+		for c := 0; c < 5; c++ {
+			norms = append(norms, s.Step(w, nil))
+		}
+		if ref == nil {
+			ref = w
+			refNorms = norms
+			continue
+		}
+		for i := range w {
+			if w[i] != ref[i] {
+				t.Fatalf("nworkers=%d: vertex %d differs: %v vs %v", nw, i, w[i], ref[i])
+			}
+		}
+		for c := range norms {
+			if norms[c] != refNorms[c] {
+				t.Fatalf("nworkers=%d: cycle %d norm %v vs %v", nw, c, norms[c], refNorms[c])
+			}
+		}
+	}
+}
+
+func TestMatchesSequentialToRoundoff(t *testing.T) {
+	m := testMesh(t)
+	p := euler.DefaultParams(0.675, 0)
+
+	seq := euler.NewDisc(m, p)
+	wseq := make([]euler.State, m.NV())
+	seq.InitUniform(wseq)
+	ws := euler.NewStepWorkspace(m.NV())
+
+	par, err := New(m, p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wpar := make([]euler.State, m.NV())
+	par.InitUniform(wpar)
+
+	for c := 0; c < 10; c++ {
+		ns := seq.Step(wseq, nil, ws)
+		np := par.Step(wpar, nil)
+		if rel := math.Abs(ns-np) / (1e-300 + ns); rel > 1e-10 {
+			t.Fatalf("cycle %d: norms diverge: %v vs %v", c, ns, np)
+		}
+	}
+	worst := 0.0
+	for i := range wseq {
+		for k := 0; k < euler.NVar; k++ {
+			d := math.Abs(wseq[i][k]-wpar[i][k]) / (1 + math.Abs(wseq[i][k]))
+			worst = math.Max(worst, d)
+		}
+	}
+	if worst > 1e-10 {
+		t.Errorf("solutions diverge beyond roundoff: %g", worst)
+	}
+}
+
+func TestFreestreamPreserved(t *testing.T) {
+	spec := meshgen.DefaultChannel(8, 5, 4, 3)
+	spec.BumpHeight = 0
+	m, err := meshgen.Channel(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := euler.DefaultParams(0.5, 0)
+	s, err := New(m, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]euler.State, m.NV())
+	s.InitUniform(w)
+	if norm := s.Step(w, nil); norm > 1e-11 {
+		t.Errorf("freestream residual %g", norm)
+	}
+	for i := range w {
+		for k := 0; k < euler.NVar; k++ {
+			if math.Abs(w[i][k]-p.Freestream[k]) > 1e-10 {
+				t.Fatalf("freestream perturbed at vertex %d", i)
+			}
+		}
+	}
+}
+
+func TestNumColorsReported(t *testing.T) {
+	m := testMesh(t)
+	s, err := New(m, euler.DefaultParams(0.5, 0), 0) // 0 -> GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, fc := s.NumColors()
+	// The paper: "the typical number of groups is not high, say 20 to 30".
+	if ec < 10 || ec > 64 {
+		t.Errorf("edge colors = %d", ec)
+	}
+	if fc < 2 || fc > 32 {
+		t.Errorf("face colors = %d", fc)
+	}
+	if s.NWorkers < 1 {
+		t.Errorf("workers = %d", s.NWorkers)
+	}
+}
+
+func TestSmoothingDisabledPath(t *testing.T) {
+	m := testMesh(t)
+	p := euler.DefaultParams(0.675, 0)
+	p.EpsSmooth = 0
+	p.NSmooth = 0
+	s, err := New(m, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]euler.State, m.NV())
+	s.InitUniform(w)
+	if norm := s.Step(w, nil); math.IsNaN(norm) {
+		t.Error("NaN norm with smoothing disabled")
+	}
+}

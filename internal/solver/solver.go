@@ -1,0 +1,120 @@
+// Package solver provides the steady-state driver used by the command-line
+// tools and examples: it wraps the single-grid scheme and the multigrid
+// cycles behind one Run loop with residual monitoring, convergence
+// detection and iteration limits.
+package solver
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+	"eul3d/internal/multigrid"
+)
+
+// Options controls a steady-state run.
+type Options struct {
+	MaxCycles int     // hard iteration limit
+	Tolerance float64 // stop when residual/initial falls below this (0 = run all cycles)
+	LogEvery  int     // progress line period (0 = silent)
+	Log       io.Writer
+}
+
+// Result summarizes a run.
+type Result struct {
+	Cycles       int
+	History      []float64 // residual norm per cycle
+	InitialNorm  float64
+	FinalNorm    float64
+	Converged    bool
+	Ordersof10   float64
+	FineSolution []euler.State
+}
+
+// stepper abstracts one solver cycle.
+type stepper interface {
+	cycle() float64
+	solution() []euler.State
+}
+
+type singleStepper struct {
+	d  *euler.Disc
+	w  []euler.State
+	ws *euler.StepWorkspace
+}
+
+func (s *singleStepper) cycle() float64          { return s.d.Step(s.w, nil, s.ws) }
+func (s *singleStepper) solution() []euler.State { return s.w }
+
+type mgStepper struct{ mg *multigrid.Solver }
+
+func (s *mgStepper) cycle() float64          { return s.mg.Cycle() }
+func (s *mgStepper) solution() []euler.State { return s.mg.Fine().W }
+
+// NewSingleGrid builds a single-grid steady solver over m.
+func NewSingleGrid(m *mesh.Mesh, p euler.Params) *Steady {
+	d := euler.NewDisc(m, p)
+	w := make([]euler.State, m.NV())
+	d.InitUniform(w)
+	return &Steady{s: &singleStepper{d: d, w: w, ws: euler.NewStepWorkspace(m.NV())}}
+}
+
+// NewMultigrid builds a multigrid steady solver over the mesh sequence
+// (finest first) with cycle index gamma.
+func NewMultigrid(meshes []*mesh.Mesh, p euler.Params, gamma int) (*Steady, error) {
+	mg, err := multigrid.New(meshes, p, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return &Steady{s: &mgStepper{mg: mg}, MG: mg}, nil
+}
+
+// Steady is a steady-state solver ready to Run.
+type Steady struct {
+	s  stepper
+	MG *multigrid.Solver // non-nil for multigrid runs
+}
+
+// SetInitial warm-starts the solver from a previously computed fine-grid
+// solution (e.g. loaded with meshio.LoadSolution). The slice length must
+// match the fine mesh.
+func (st *Steady) SetInitial(w []euler.State) error {
+	dst := st.s.solution()
+	if len(w) != len(dst) {
+		return fmt.Errorf("solver: initial solution has %d states for %d vertices", len(w), len(dst))
+	}
+	copy(dst, w)
+	return nil
+}
+
+// Run iterates until convergence or the cycle limit and returns the
+// result. The returned FineSolution aliases the solver's state.
+func (st *Steady) Run(opt Options) (*Result, error) {
+	if opt.MaxCycles <= 0 {
+		return nil, fmt.Errorf("solver: MaxCycles must be positive")
+	}
+	res := &Result{}
+	for c := 0; c < opt.MaxCycles; c++ {
+		norm := st.s.cycle()
+		res.History = append(res.History, norm)
+		if c == 0 {
+			res.InitialNorm = norm
+		}
+		res.FinalNorm = norm
+		res.Cycles = c + 1
+		if opt.LogEvery > 0 && opt.Log != nil && c%opt.LogEvery == 0 {
+			fmt.Fprintf(opt.Log, "cycle %5d  residual %.3e\n", c, norm)
+		}
+		if opt.Tolerance > 0 && res.InitialNorm > 0 && norm/res.InitialNorm < opt.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	if res.InitialNorm > 0 && res.FinalNorm > 0 {
+		res.Ordersof10 = -math.Log10(res.FinalNorm / res.InitialNorm)
+	}
+	res.FineSolution = st.s.solution()
+	return res, nil
+}

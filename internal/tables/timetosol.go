@@ -1,0 +1,97 @@
+package tables
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TimeToSolution reproduces the paper's headline comparison: the wall-clock
+// time each solution strategy needs to converge the residual by `orders`
+// orders of magnitude, on the 16-CPU C90 and on the 512-node Delta. The
+// paper quotes 242 s (W), ~360 s (V) and ~1 hour (single grid) for the C90,
+// and 843 s (W, estimated), 1083 s (V) and ~1 hour (single) for the Delta.
+type TimeToSolution struct {
+	Orders float64
+	Rows   []TimeToSolutionRow
+}
+
+// TimeToSolutionRow is one strategy's result.
+type TimeToSolutionRow struct {
+	Strategy     Strategy
+	Cycles       float64 // cycles to reach the target (extrapolated if beyond the run)
+	Extrapolated bool
+	C90Seconds   float64 // on 16 CPUs
+	DeltaSeconds float64 // on the largest node count of the Delta table
+}
+
+// CyclesToOrders returns the (possibly extrapolated) cycle count at which
+// the series first drops `orders` below its initial residual. When the run
+// ends early, the tail's log-linear slope extends it — the same estimate
+// the paper makes for its "approximately 1 hour" single-grid numbers.
+func (r *Figure2Result) CyclesToOrders(name string, orders float64) (cycles float64, extrapolated bool) {
+	series := r.Series[name]
+	if len(series) == 0 {
+		return math.NaN(), false
+	}
+	target := math.Pow(10, -orders)
+	for _, pt := range series {
+		if pt.Residual <= target {
+			return float64(pt.Cycle), false
+		}
+	}
+	// Log-linear extrapolation from the last half of the run.
+	half := series[len(series)/2:]
+	if len(half) < 2 {
+		half = series
+	}
+	first, last := half[0], half[len(half)-1]
+	if last.Residual <= 0 || first.Residual <= 0 || last.Residual >= first.Residual {
+		return math.Inf(1), true
+	}
+	slope := (math.Log10(last.Residual) - math.Log10(first.Residual)) /
+		float64(last.Cycle-first.Cycle) // orders per cycle (< 0)
+	need := (-orders - math.Log10(last.Residual)) / slope
+	return float64(last.Cycle) + need, true
+}
+
+// ComputeTimeToSolution combines a convergence study with the per-cycle
+// machine times of the C90 and Delta tables. The cycle counts come from the
+// fig2 meshes; the seconds-per-cycle from the tables' meshes (scale
+// documented by the caller).
+func ComputeTimeToSolution(fig2 *Figure2Result, orders float64,
+	t1 map[Strategy]*C90Table, t2 map[Strategy]*DeltaTable) *TimeToSolution {
+	out := &TimeToSolution{Orders: orders}
+	for _, s := range []Strategy{SingleGrid, VCycle, WCycle} {
+		cycles, ex := fig2.CyclesToOrders(s.String(), orders)
+		row := TimeToSolutionRow{Strategy: s, Cycles: cycles, Extrapolated: ex}
+		if tab := t1[s]; tab != nil {
+			perCycle := tab.Rows[len(tab.Rows)-1].WallS / float64(tab.Config.Cycles)
+			row.C90Seconds = perCycle * cycles
+		}
+		if tab := t2[s]; tab != nil {
+			perCycle := tab.Rows[len(tab.Rows)-1].TotalS / float64(tab.Config.Cycles)
+			row.DeltaSeconds = perCycle * cycles
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// String renders the comparison with the paper's reference values.
+func (t *TimeToSolution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Time to reduce the residual by %.0f orders of magnitude\n", t.Orders)
+	fmt.Fprintf(&b, "(paper: C90 16 CPUs: ~3600 s single / ~360 s V / 242 s W;\n")
+	fmt.Fprintf(&b, "        Delta 512:   ~3600 s single / 1083 s V / 843 s W)\n\n")
+	fmt.Fprintf(&b, "%-20s %10s %14s %14s\n", "strategy", "cycles", "C90-16 [s]", "Delta-max [s]")
+	for _, r := range t.Rows {
+		mark := ""
+		if r.Extrapolated {
+			mark = " (extrapolated)"
+		}
+		fmt.Fprintf(&b, "%-20s %10.0f %14.0f %14.0f%s\n",
+			r.Strategy, r.Cycles, r.C90Seconds, r.DeltaSeconds, mark)
+	}
+	return b.String()
+}
