@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+# Tier-1: the whole repo must build and every test must pass.
+test:
+	$(GO) test ./...
+
+# Race-check the concurrency-bearing packages: the simulated interconnect,
+# the PARTI executors with self-healing receives, and the MIMD solver with
+# its recovery orchestrator.
+race:
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/...
+
+verify: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/...
+
+bench:
+	$(GO) test -run XXX -bench . -benchtime 1x ./...
+
+clean:
+	$(GO) clean ./...

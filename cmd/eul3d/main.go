@@ -1,11 +1,15 @@
 // Command eul3d is the end-to-end flow solver: it generates the transonic
 // bump-channel mesh sequence, runs the selected solution strategy (single
 // grid, multigrid V-cycle or W-cycle) and reports the convergence history
-// and flow-field summary.
+// and flow-field summary. With -nproc it runs the distributed-memory
+// solver on simulated nodes instead, with optional fault injection
+// (-faults), periodic checkpointing (-checkpoint) and restart (-resume).
 //
 // Usage:
 //
 //	eul3d -nx 32 -ny 16 -nz 12 -levels 4 -strategy w -mach 0.768 -alpha 1.116 -cycles 300
+//	eul3d -nproc 8 -faults seed=7,drop=2,corrupt=1,crash=3@40 -checkpoint run.ckpt -checkpoint-every 25
+//	eul3d -resume run.ckpt
 package main
 
 import (
@@ -15,10 +19,14 @@ import (
 	"os"
 	"strings"
 
+	"eul3d/internal/dmsolver"
 	"eul3d/internal/euler"
+	"eul3d/internal/graph"
 	"eul3d/internal/mesh"
 	"eul3d/internal/meshgen"
 	"eul3d/internal/meshio"
+	"eul3d/internal/partition"
+	"eul3d/internal/simnet"
 	"eul3d/internal/solver"
 	"eul3d/internal/tables"
 )
@@ -43,6 +51,13 @@ func main() {
 		initSol  = flag.String("init-solution", "", "warm-start from a saved solution file")
 		fmg      = flag.Int("fmg", 0, "full-multigrid initialization: cycles per coarse level (0 = off)")
 		history  = flag.String("history", "", "write the residual history as CSV to this file")
+
+		nproc     = flag.Int("nproc", 0, "simulated processors for the distributed solver (0 = in-process sequential solver)")
+		mimd      = flag.Bool("mimd", false, "with -nproc: run one goroutine per simulated processor (true MIMD mode)")
+		faultSpec = flag.String("faults", "", "with -nproc: seeded fault-injection spec, e.g. seed=7,drop=2,dup=1,corrupt=1,delay=1,reorder=1,crash=2@40")
+		ckptPath  = flag.String("checkpoint", "", "write periodic atomic checkpoints to this file")
+		ckptEvery = flag.Int("checkpoint-every", 25, "cycles between checkpoints (with -checkpoint)")
+		resume    = flag.String("resume", "", "restart from a checkpoint file written by -checkpoint")
 	)
 	flag.Parse()
 
@@ -62,6 +77,35 @@ func main() {
 			out[l] = m
 		}
 		return out, nil
+	}
+
+	var ck *meshio.Checkpoint
+	if *resume != "" {
+		var err error
+		ck, err = meshio.LoadCheckpoint(*resume)
+		if err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		if ck.Mach != *mach || ck.AlphaDeg != *alpha {
+			fmt.Printf("resume: checkpoint was run at mach %g alpha %g; using those\n", ck.Mach, ck.AlphaDeg)
+			*mach, *alpha = ck.Mach, ck.AlphaDeg
+			p = euler.DefaultParams(*mach, *alpha)
+		}
+		fmt.Printf("resuming from %s at cycle %d\n", *resume, ck.Cycle)
+	}
+
+	if *faultSpec != "" && *nproc <= 0 {
+		log.Fatalf("eul3d: -faults requires the distributed solver (-nproc)")
+	}
+	if *nproc > 0 {
+		runDistributed(p, loadSeq, ck, distOpts{
+			strategy: *strategy, levels: *levels, nproc: *nproc, mimd: *mimd,
+			faults: *faultSpec, cycles: *cycles, tol: *tol, logEvery: *logEvery,
+			ckptPath: *ckptPath, ckptEvery: *ckptEvery,
+			mach: *mach, alpha: *alpha,
+			history: *history, saveSol: *saveSol, saveVTK: *saveVTK,
+		})
+		return
 	}
 
 	var st *solver.Steady
@@ -114,12 +158,22 @@ func main() {
 		}
 		fmt.Printf("warm start from %s\n", *initSol)
 	}
+	if ck != nil {
+		if err := st.Restore(ck); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+	}
 
 	res, err := st.Run(solver.Options{
 		MaxCycles: *cycles,
 		Tolerance: *tol,
 		LogEvery:  *logEvery,
 		Log:       os.Stdout,
+
+		CheckpointEvery: *ckptEvery,
+		CheckpointPath:  *ckptPath,
+		Mach:            *mach,
+		AlphaDeg:        *alpha,
 	})
 	if err != nil {
 		log.Fatalf("eul3d: %v", err)
@@ -140,17 +194,7 @@ func main() {
 	}
 	fmt.Printf("max local Mach number: %.3f\n", maxM)
 
-	if *history != "" {
-		var b strings.Builder
-		b.WriteString("cycle,residual\n")
-		for c, n := range res.History {
-			fmt.Fprintf(&b, "%d,%.8e\n", c, n)
-		}
-		if err := os.WriteFile(*history, []byte(b.String()), 0o644); err != nil {
-			log.Fatalf("eul3d: %v", err)
-		}
-		fmt.Printf("history written to %s\n", *history)
-	}
+	writeHistory(*history, res.History)
 	if *saveSol != "" {
 		if err := meshio.SaveSolution(*saveSol, *mach, *alpha, res.FineSolution); err != nil {
 			log.Fatalf("eul3d: %v", err)
@@ -182,4 +226,147 @@ func main() {
 	} else if *contours {
 		fmt.Println("(-contours requires a multigrid strategy)")
 	}
+}
+
+type distOpts struct {
+	strategy  string
+	levels    int
+	nproc     int
+	mimd      bool
+	faults    string
+	cycles    int
+	tol       float64
+	logEvery  int
+	ckptPath  string
+	ckptEvery int
+	mach      float64
+	alpha     float64
+	history   string
+	saveSol   string
+	saveVTK   string
+}
+
+// runDistributed is the fault-tolerant distributed path: spectral
+// partition per level, PARTI schedules, and the recovery orchestrator
+// around the simulated-interconnect solve.
+func runDistributed(p euler.Params, loadSeq func(int) ([]*mesh.Mesh, error), ck *meshio.Checkpoint, o distOpts) {
+	nlev := o.levels
+	gamma := 0
+	switch o.strategy {
+	case "single":
+		nlev = 1
+	case "v":
+		gamma = 1
+	case "w":
+		gamma = 2
+	default:
+		log.Fatalf("eul3d: unknown strategy %q (want single, v or w)", o.strategy)
+	}
+	seq, err := loadSeq(nlev)
+	if err != nil {
+		log.Fatalf("eul3d: %v", err)
+	}
+	parts := make([][]int32, nlev)
+	for l, m := range seq {
+		g, err := graph.FromEdges(m.NV(), m.Edges)
+		if err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		parts[l], err = partition.Partition(g, m.X, o.nproc, partition.Spectral, 1)
+		if err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		q := partition.Evaluate(parts[l], m.Edges, o.nproc)
+		fmt.Printf("level %d: %d points over %d processors, %v\n", l, m.NV(), o.nproc, q)
+	}
+
+	var s *dmsolver.Solver
+	if nlev == 1 {
+		s, err = dmsolver.NewSingle(seq[0], parts[0], o.nproc, p)
+	} else {
+		s, err = dmsolver.NewMultigrid(seq, parts, o.nproc, p, gamma)
+	}
+	if err != nil {
+		log.Fatalf("eul3d: %v", err)
+	}
+
+	var plan *simnet.FaultPlan
+	if o.faults != "" {
+		plan, err = simnet.ParseFaultSpec(o.faults)
+		if err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		s.Fabric.SetFaultPlan(plan)
+		fmt.Printf("fault injection armed: %s\n", o.faults)
+	}
+
+	mode := "sequential orchestration"
+	if o.mimd {
+		mode = "MIMD (goroutine per processor)"
+	}
+	fmt.Printf("distributed solve: %d simulated processors, %s\n", o.nproc, mode)
+
+	res, err := s.Run(dmsolver.RunOptions{
+		MaxCycles:       o.cycles,
+		Tolerance:       o.tol,
+		LogEvery:        o.logEvery,
+		Log:             os.Stdout,
+		Concurrent:      o.mimd,
+		CheckpointEvery: o.ckptEvery,
+		CheckpointPath:  o.ckptPath,
+		Mach:            o.mach,
+		AlphaDeg:        o.alpha,
+		Resume:          ck,
+	})
+	if err != nil {
+		log.Fatalf("eul3d: %v", err)
+	}
+
+	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
+		res.Cycles, res.InitialNorm, res.FinalNorm, res.Ordersof10)
+	if res.Converged {
+		fmt.Printf(" [converged]")
+	}
+	fmt.Println()
+	msgs, bytes := s.Fabric.TotalStats()
+	fmt.Printf("traffic: %d messages, %.2f MB, %d healed by retransmission\n",
+		msgs, float64(bytes)/1e6, s.Fabric.Resends())
+	if res.Recoveries > 0 || res.CFLBackoffs > 0 {
+		fmt.Printf("recovery: %d checkpoint restores after node crashes, %d CFL backoffs\n",
+			res.Recoveries, res.CFLBackoffs)
+	}
+	if plan != nil {
+		st := plan.Stats()
+		fmt.Printf("faults injected: %d drops, %d duplicates, %d corruptions, %d delays, %d reorders, %d crashes (%d scheduled never fired)\n",
+			st.Drops, st.Duplicates, st.Corruptions, st.Delays, st.Reorders, st.Crashes, plan.Unfired())
+	}
+
+	writeHistory(o.history, res.History)
+	if o.saveSol != "" {
+		if err := meshio.SaveSolution(o.saveSol, o.mach, o.alpha, res.FineSolution); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		fmt.Printf("solution written to %s\n", o.saveSol)
+	}
+	if o.saveVTK != "" {
+		if err := meshio.SaveVTK(o.saveVTK, seq[0], p.Gas, res.FineSolution, "", nil); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		fmt.Printf("VTK written to %s\n", o.saveVTK)
+	}
+}
+
+func writeHistory(path string, hist []float64) {
+	if path == "" {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("cycle,residual\n")
+	for c, n := range hist {
+		fmt.Fprintf(&b, "%d,%.8e\n", c, n)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		log.Fatalf("eul3d: %v", err)
+	}
+	fmt.Printf("history written to %s\n", path)
 }

@@ -1,0 +1,165 @@
+package meshio
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"eul3d/internal/euler"
+)
+
+const ckptMagic = "EUL3DK01"
+
+// Checkpoint is a restartable snapshot of a steady-state solve: the
+// fine-grid solution plus everything needed to make a resumed run
+// indistinguishable from an uninterrupted one — the cycle count, the full
+// residual history, and the CFL in force (which the divergence watchdog
+// may have lowered below its initial value).
+type Checkpoint struct {
+	Cycle    int
+	Mach     float64
+	AlphaDeg float64
+	CFL      float64
+	History  []float64
+	Sol      []euler.State
+}
+
+// WriteCheckpoint serializes a checkpoint with a CRC32 (IEEE) trailer over
+// every preceding byte, so torn or bit-rotted files are rejected on load.
+func WriteCheckpoint(w io.Writer, ck *Checkpoint) error {
+	if len(ck.History) != ck.Cycle {
+		return fmt.Errorf("meshio: checkpoint at cycle %d has %d history entries", ck.Cycle, len(ck.History))
+	}
+	h := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+	if _, err := bw.WriteString(ckptMagic); err != nil {
+		return err
+	}
+	hdr := []float64{float64(ck.Cycle), ck.Mach, ck.AlphaDeg, ck.CFL}
+	if err := binary.Write(bw, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(ck.History))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ck.History); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(ck.Sol))); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ck.Sol); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, h.Sum32())
+}
+
+// ReadCheckpoint deserializes and validates a checkpoint, verifying the
+// CRC32 trailer before trusting any field.
+func ReadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("meshio: reading checkpoint: %w", err)
+	}
+	if len(raw) < len(ckptMagic)+4 {
+		return nil, fmt.Errorf("meshio: truncated checkpoint (%d bytes)", len(raw))
+	}
+	body, trailer := raw[:len(raw)-4], raw[len(raw)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(trailer); got != want {
+		return nil, fmt.Errorf("meshio: checkpoint CRC mismatch: computed %08x, trailer %08x", got, want)
+	}
+	br := bytes.NewReader(body)
+	if err := expectMagic(br, ckptMagic); err != nil {
+		return nil, err
+	}
+	var hdr [4]float64
+	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("meshio: checkpoint header: %w", err)
+	}
+	ck := &Checkpoint{Cycle: int(hdr[0]), Mach: hdr[1], AlphaDeg: hdr[2], CFL: hdr[3]}
+	if ck.Cycle < 0 || float64(ck.Cycle) != hdr[0] {
+		return nil, fmt.Errorf("meshio: implausible checkpoint cycle %g", hdr[0])
+	}
+	var nh int64
+	if err := binary.Read(br, binary.LittleEndian, &nh); err != nil {
+		return nil, fmt.Errorf("meshio: checkpoint history count: %w", err)
+	}
+	if nh != int64(ck.Cycle) {
+		return nil, fmt.Errorf("meshio: checkpoint at cycle %d carries %d history entries", ck.Cycle, nh)
+	}
+	ck.History = make([]float64, nh)
+	if err := binary.Read(br, binary.LittleEndian, &ck.History); err != nil {
+		return nil, fmt.Errorf("meshio: checkpoint history: %w", err)
+	}
+	for i, v := range ck.History {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("meshio: checkpoint history entry %d is %g", i, v)
+		}
+	}
+	var ns int64
+	if err := binary.Read(br, binary.LittleEndian, &ns); err != nil {
+		return nil, fmt.Errorf("meshio: checkpoint solution count: %w", err)
+	}
+	if ns < 0 || ns > 1<<31 {
+		return nil, fmt.Errorf("meshio: implausible checkpoint solution size %d", ns)
+	}
+	ck.Sol = make([]euler.State, ns)
+	if err := binary.Read(br, binary.LittleEndian, &ck.Sol); err != nil {
+		return nil, fmt.Errorf("meshio: checkpoint solution: %w", err)
+	}
+	for i := range ck.Sol {
+		for k := 0; k < euler.NVar; k++ {
+			if math.IsNaN(ck.Sol[i][k]) || math.IsInf(ck.Sol[i][k], 0) {
+				return nil, fmt.Errorf("meshio: checkpoint solution vertex %d var %d is %g", i, k, ck.Sol[i][k])
+			}
+		}
+		if ck.Sol[i][0] <= 0 {
+			return nil, fmt.Errorf("meshio: checkpoint solution has unphysical density at vertex %d", i)
+		}
+	}
+	return ck, nil
+}
+
+// SaveCheckpoint writes a checkpoint atomically: the bytes land in
+// <path>.tmp, are fsynced, and only then renamed over path — a crash
+// mid-write can never destroy the previous good checkpoint.
+func SaveCheckpoint(path string, ck *Checkpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := WriteCheckpoint(f, ck); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCheckpoint reads and validates a checkpoint from path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}

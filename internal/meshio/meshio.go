@@ -64,7 +64,7 @@ func ReadMesh(r io.Reader) (*mesh.Mesh, error) {
 	}
 	var hdr [3]int64
 	if err := binary.Read(br, binary.LittleEndian, &hdr); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("meshio: mesh header: %w", err)
 	}
 	nv, nt, nbf := hdr[0], hdr[1], hdr[2]
 	if nv < 0 || nt < 0 || nbf < 0 || nv > 1<<31 || nt > 1<<31 || nbf > 1<<31 {
@@ -77,24 +77,39 @@ func ReadMesh(r io.Reader) (*mesh.Mesh, error) {
 	for i := range m.X {
 		var x [3]float64
 		if err := binary.Read(br, binary.LittleEndian, &x); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("meshio: mesh vertex %d of %d: %w", i, nv, err)
+		}
+		if math.IsNaN(x[0]) || math.IsNaN(x[1]) || math.IsNaN(x[2]) {
+			return nil, fmt.Errorf("meshio: mesh vertex %d has NaN coordinates", i)
 		}
 		m.X[i] = geom.Vec3{X: x[0], Y: x[1], Z: x[2]}
 	}
 	if err := binary.Read(br, binary.LittleEndian, &m.Tets); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("meshio: tetrahedra block (%d tets after %d vertices): %w", nt, nv, err)
+	}
+	for ti, tet := range m.Tets {
+		for k, v := range tet {
+			if v < 0 || int64(v) >= nv {
+				return nil, fmt.Errorf("meshio: tet %d corner %d references vertex %d outside [0,%d)", ti, k, v, nv)
+			}
+		}
 	}
 	m.BFaces = make([]mesh.BFace, nbf)
 	for i := range m.BFaces {
 		if err := binary.Read(br, binary.LittleEndian, &m.BFaces[i].V); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("meshio: boundary face %d of %d: %w", i, nbf, err)
+		}
+		for k, v := range m.BFaces[i].V {
+			if v < 0 || int64(v) >= nv {
+				return nil, fmt.Errorf("meshio: boundary face %d corner %d references vertex %d outside [0,%d)", i, k, v, nv)
+			}
 		}
 		kind, err := br.ReadByte()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("meshio: boundary face %d kind byte: %w", i, err)
 		}
 		if kind > byte(mesh.Symmetry) {
-			return nil, fmt.Errorf("meshio: unknown boundary kind %d", kind)
+			return nil, fmt.Errorf("meshio: boundary face %d: unknown boundary kind %d", i, kind)
 		}
 		m.BFaces[i].Kind = mesh.BCKind(kind)
 	}
@@ -130,11 +145,13 @@ func ReadSolution(r io.Reader) (mach, alphaDeg float64, sol []euler.State, err e
 	}
 	var ref [2]float64
 	if err = binary.Read(br, binary.LittleEndian, &ref); err != nil {
+		err = fmt.Errorf("meshio: solution reference condition: %w", err)
 		return
 	}
 	mach, alphaDeg = ref[0], ref[1]
 	var n int64
 	if err = binary.Read(br, binary.LittleEndian, &n); err != nil {
+		err = fmt.Errorf("meshio: solution vertex count: %w", err)
 		return
 	}
 	if n < 0 || n > 1<<31 {
@@ -142,14 +159,20 @@ func ReadSolution(r io.Reader) (mach, alphaDeg float64, sol []euler.State, err e
 		return
 	}
 	sol = make([]euler.State, n)
-	err = binary.Read(br, binary.LittleEndian, &sol)
-	if err != nil {
+	if err = binary.Read(br, binary.LittleEndian, &sol); err != nil {
+		err = fmt.Errorf("meshio: solution states (%d vertices): %w", n, err)
 		return
 	}
 	for i := range sol {
 		if sol[i][0] <= 0 || math.IsNaN(sol[i][0]) {
 			err = fmt.Errorf("meshio: unphysical density at vertex %d", i)
 			return
+		}
+		for k := 0; k < euler.NVar; k++ {
+			if math.IsNaN(sol[i][k]) || math.IsInf(sol[i][k], 0) {
+				err = fmt.Errorf("meshio: solution vertex %d var %d is %g", i, k, sol[i][k])
+				return
+			}
 		}
 	}
 	return
@@ -178,6 +201,7 @@ func ReadPartition(r io.Reader) (nproc int, part []int32, err error) {
 	}
 	var hdr [2]int64
 	if err = binary.Read(br, binary.LittleEndian, &hdr); err != nil {
+		err = fmt.Errorf("meshio: partition header: %w", err)
 		return
 	}
 	if hdr[0] < 1 || hdr[1] < 0 || hdr[1] > 1<<31 {
@@ -187,6 +211,7 @@ func ReadPartition(r io.Reader) (nproc int, part []int32, err error) {
 	nproc = int(hdr[0])
 	part = make([]int32, hdr[1])
 	if err = binary.Read(br, binary.LittleEndian, &part); err != nil {
+		err = fmt.Errorf("meshio: partition assignments (%d vertices): %w", hdr[1], err)
 		return
 	}
 	for g, p := range part {

@@ -41,7 +41,7 @@ func (s *Schedule) RecvGatherStates(f *simnet.Fabric, p int, data [][]euler.Stat
 		if len(slots) == 0 {
 			continue
 		}
-		buf, err := f.Recv(p, q)
+		buf, err := recvHealing(f, p, q)
 		if err != nil {
 			return err
 		}
@@ -84,7 +84,7 @@ func (s *Schedule) RecvScatterStates(f *simnet.Fabric, q int, data [][]euler.Sta
 		if len(idx) == 0 {
 			continue
 		}
-		buf, err := f.Recv(q, p)
+		buf, err := recvHealing(f, q, p)
 		if err != nil {
 			return err
 		}
@@ -128,7 +128,7 @@ func (s *Schedule) RecvGatherFloats(f *simnet.Fabric, p int, data [][]float64) e
 		if len(slots) == 0 {
 			continue
 		}
-		buf, err := f.Recv(p, q)
+		buf, err := recvHealing(f, p, q)
 		if err != nil {
 			return err
 		}
@@ -169,7 +169,7 @@ func (s *Schedule) RecvScatterFloats(f *simnet.Fabric, q int, data [][]float64) 
 		if len(idx) == 0 {
 			continue
 		}
-		buf, err := f.Recv(q, p)
+		buf, err := recvHealing(f, q, p)
 		if err != nil {
 			return err
 		}

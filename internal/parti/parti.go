@@ -82,6 +82,13 @@ func NewGhostSpace(d *Dist) *GhostSpace {
 // NumGhosts returns the ghost count currently allocated on processor p.
 func (gs *GhostSpace) NumGhosts(p int) int { return len(gs.order[p]) }
 
+// Ghosts returns the global indices backing processor p's ghost slots, in
+// slot order (ghost slot s holds the value of global Ghosts(p)[s]). The
+// returned slice aliases internal state and must not be modified; the
+// checkpoint/restart path uses it to rebuild ghost copies without
+// communication.
+func (gs *GhostSpace) Ghosts(p int) []int32 { return gs.order[p] }
+
 // TotalSize returns owned+ghost storage required on processor p.
 func (gs *GhostSpace) TotalSize(p int) int { return gs.d.Count(p) + len(gs.order[p]) }
 

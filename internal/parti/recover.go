@@ -1,0 +1,61 @@
+package parti
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"eul3d/internal/simnet"
+)
+
+// Typed executor errors, re-exported from the transport layer so callers
+// of the PARTI executors can match failure classes without importing
+// simnet. ErrNoPending and ErrCorrupt surface only after the bounded
+// retry/re-request protocol below has been exhausted; ErrNodeDown is never
+// retried (a crashed sender cannot retransmit) and must be handled by a
+// checkpoint-level recovery orchestrator.
+var (
+	ErrNoPending = simnet.ErrNoPending
+	ErrCorrupt   = simnet.ErrCorrupt
+	ErrNodeDown  = simnet.ErrNodeDown
+)
+
+const (
+	// maxRecvAttempts bounds the heal loop: one optimistic receive plus
+	// up to maxRecvAttempts-1 re-request/retry rounds.
+	maxRecvAttempts = 6
+	// backoffBase is the first retry's wait; each further round doubles it.
+	// The simulated fabric replays synchronously, so this stays tiny — it
+	// models the pacing a real NIC would apply, and yields the processor
+	// between rounds of the concurrent MIMD mode.
+	backoffBase = 20 * time.Microsecond
+)
+
+// recvHealing is Fabric.Recv wrapped in the executors' bounded ARQ
+// protocol: a dropped, corrupted or delayed halo message is healed by
+// re-requesting the sender's retained copy with exponential backoff,
+// instead of aborting the whole solve. The fault-free fast path is a
+// single Recv call.
+func recvHealing(f *simnet.Fabric, dst, src int) ([]float64, error) {
+	buf, err := f.Recv(dst, src)
+	if err == nil {
+		return buf, nil
+	}
+	for attempt := 1; attempt < maxRecvAttempts; attempt++ {
+		if !errors.Is(err, simnet.ErrNoPending) && !errors.Is(err, simnet.ErrCorrupt) {
+			return nil, err // node down or a caller bug: not healable here
+		}
+		time.Sleep(backoffBase << (attempt - 1))
+		if rerr := f.Rerequest(dst, src); rerr != nil {
+			if errors.Is(rerr, simnet.ErrNodeDown) {
+				return nil, rerr
+			}
+			// Nothing retained to replay (e.g. the message is merely
+			// delayed, not lost): keep polling.
+		}
+		if buf, err = f.Recv(dst, src); err == nil {
+			return buf, nil
+		}
+	}
+	return nil, fmt.Errorf("parti: recv %d<-%d unhealed after %d attempts: %w", dst, src, maxRecvAttempts, err)
+}

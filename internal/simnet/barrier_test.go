@@ -1,0 +1,136 @@
+package simnet
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestBarrierReleasesAllParties(t *testing.T) {
+	const n = 8
+	b := NewBarrier(n)
+	var arrived atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			arrived.Add(1)
+			b.Await()
+			// Every party must observe a full complement at release.
+			if got := arrived.Load(); got != n {
+				t.Errorf("released with %d/%d arrivals", got, n)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBarrierReuseAcrossCycles(t *testing.T) {
+	// The solver reuses one barrier for thousands of bulk-synchronous
+	// phases; each generation must be independent of arrival order.
+	const n = 5
+	const cycles = 200
+	b := NewBarrier(n)
+	var phase atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for c := 0; c < cycles; c++ {
+				if p == 0 {
+					phase.Add(1)
+				}
+				b.Await()
+				// Between barriers every party sees the same phase count.
+				if got := phase.Load(); got != int64(c+1) {
+					t.Errorf("party %d cycle %d: phase %d", p, c, got)
+					return
+				}
+				b.Await()
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for c := 0; c < 3; c++ {
+		b.Await() // must not block
+		if !b.AwaitCheck(func() bool { return true }) {
+			t.Fatal("single-party verdict lost")
+		}
+	}
+}
+
+func TestBarrierCheckEvaluatedOncePerGeneration(t *testing.T) {
+	const n = 4
+	b := NewBarrier(n)
+	var evals atomic.Int64
+	var wg sync.WaitGroup
+	for cycle := 0; cycle < 10; cycle++ {
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.AwaitCheck(func() bool {
+					evals.Add(1)
+					return true
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	if got := evals.Load(); got != 10 {
+		t.Errorf("check ran %d times for 10 generations", got)
+	}
+}
+
+func TestBarrierAwaitCheckConsistentVerdict(t *testing.T) {
+	// All parties must receive the verdict evaluated by the last arriver,
+	// even when the condition changes immediately afterwards.
+	const n = 6
+	b := NewBarrier(n)
+	var mu sync.Mutex
+	healthy := true
+	results := make(chan bool, n)
+	for p := 0; p < n; p++ {
+		go func(p int) {
+			v := b.AwaitCheck(func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return healthy
+			})
+			if p == 0 {
+				// Flip the flag right after release: later readers of the
+				// verdict must still see the snapshot.
+				mu.Lock()
+				healthy = false
+				mu.Unlock()
+			}
+			results <- v
+		}(p)
+	}
+	for p := 0; p < n; p++ {
+		if v := <-results; !v {
+			t.Fatal("verdict should be the healthy snapshot for every party")
+		}
+	}
+	// Next generation: everyone must now agree on false.
+	for p := 0; p < n; p++ {
+		go func() {
+			results <- b.AwaitCheck(func() bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return healthy
+			})
+		}()
+	}
+	for p := 0; p < n; p++ {
+		if v := <-results; v {
+			t.Fatal("second-generation verdict should be false for every party")
+		}
+	}
+}

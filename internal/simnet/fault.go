@@ -1,0 +1,244 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// FaultKind enumerates the injectable interconnect faults.
+type FaultKind uint8
+
+const (
+	// FaultDrop loses the matched message in flight.
+	FaultDrop FaultKind = iota
+	// FaultDuplicate delivers the matched message twice.
+	FaultDuplicate
+	// FaultCorrupt flips one payload bit of the delivered copy.
+	FaultCorrupt
+	// FaultDelay hides the message from the receiver for Delay scans.
+	FaultDelay
+	// FaultReorder moves the message to the front of the pair queue.
+	FaultReorder
+	// FaultCrash takes a whole node down at the start of a solver cycle.
+	FaultCrash
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultDrop:
+		return "drop"
+	case FaultDuplicate:
+		return "duplicate"
+	case FaultCorrupt:
+		return "corrupt"
+	case FaultDelay:
+		return "delay"
+	case FaultReorder:
+		return "reorder"
+	case FaultCrash:
+		return "crash"
+	}
+	return fmt.Sprintf("fault(%d)", k)
+}
+
+// FaultEvent is one scheduled fault. Message-level faults (everything but
+// FaultCrash) strike the send whose per-pair sequence number equals Seq on
+// the pair matching Src/Dst (-1 is a wildcard). FaultCrash takes Node down
+// when the driver announces cycle Cycle via Fabric.BeginCycle. Every event
+// fires at most once.
+type FaultEvent struct {
+	Kind     FaultKind
+	Src, Dst int    // pair filter for message faults; -1 matches any
+	Seq      uint64 // per-pair sequence number the fault strikes
+	Node     int    // crashed node (FaultCrash)
+	Cycle    int    // solver cycle of the crash (FaultCrash)
+	Delay    int    // scans to hide the message (FaultDelay; 0 = default 2)
+
+	fired bool
+}
+
+// FaultStats counts the events a plan has actually injected.
+type FaultStats struct {
+	Drops, Duplicates, Corruptions, Delays, Reorders, Crashes int
+}
+
+// FaultPlan is a deterministic fault schedule attached to a Fabric with
+// SetFaultPlan. The same plan against the same traffic injects the same
+// faults, so chaos tests are exactly reproducible.
+type FaultPlan struct {
+	mu     sync.Mutex
+	events []FaultEvent
+	stats  FaultStats
+}
+
+// NewFaultPlan builds a plan from an explicit event list.
+func NewFaultPlan(events ...FaultEvent) *FaultPlan {
+	return &FaultPlan{events: append([]FaultEvent(nil), events...)}
+}
+
+// Stats returns the counts of faults injected so far.
+func (p *FaultPlan) Stats() FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Unfired returns how many scheduled events have not yet triggered — chaos
+// tests assert 0 to prove the schedule actually exercised every fault.
+func (p *FaultPlan) Unfired() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for i := range p.events {
+		if !p.events[i].fired {
+			n++
+		}
+	}
+	return n
+}
+
+// matchSend finds, fires and returns the first unfired message-level event
+// matching the send, or nil.
+func (p *FaultPlan) matchSend(src, dst int, seq uint64) *FaultEvent {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.fired || ev.Kind == FaultCrash {
+			continue
+		}
+		if (ev.Src == -1 || ev.Src == src) && (ev.Dst == -1 || ev.Dst == dst) && ev.Seq == seq {
+			ev.fired = true
+			switch ev.Kind {
+			case FaultDrop:
+				p.stats.Drops++
+			case FaultDuplicate:
+				p.stats.Duplicates++
+			case FaultCorrupt:
+				p.stats.Corruptions++
+			case FaultDelay:
+				p.stats.Delays++
+			case FaultReorder:
+				p.stats.Reorders++
+			}
+			cp := *ev
+			return &cp
+		}
+	}
+	return nil
+}
+
+// crashesThrough fires every pending crash event scheduled at or before
+// cycle c and returns the crashed nodes.
+func (p *FaultPlan) crashesThrough(c int) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var nodes []int
+	for i := range p.events {
+		ev := &p.events[i]
+		if ev.fired || ev.Kind != FaultCrash || ev.Cycle > c {
+			continue
+		}
+		ev.fired = true
+		p.stats.Crashes++
+		nodes = append(nodes, ev.Node)
+	}
+	return nodes
+}
+
+// FaultMix sizes a randomly generated schedule.
+type FaultMix struct {
+	Drops, Duplicates, Corruptions, Delays, Reorders int
+	CrashNode, CrashCycle                            int    // CrashNode < 0 disables the crash
+	MaxSeq                                           uint64 // sequence numbers drawn from [0, MaxSeq); 0 = 64
+}
+
+// RandomFaultPlan derives a deterministic schedule from seed: message
+// faults use wildcard pairs with sequence numbers drawn from [0, MaxSeq),
+// so they strike whichever pairs actually carry traffic.
+func RandomFaultPlan(seed int64, mix FaultMix) *FaultPlan {
+	rng := rand.New(rand.NewSource(seed))
+	maxSeq := mix.MaxSeq
+	if maxSeq == 0 {
+		maxSeq = 64
+	}
+	var events []FaultEvent
+	add := func(kind FaultKind, n int) {
+		for i := 0; i < n; i++ {
+			events = append(events, FaultEvent{
+				Kind: kind,
+				Src:  -1, Dst: -1,
+				Seq:   uint64(rng.Int63n(int64(maxSeq))),
+				Delay: 1 + rng.Intn(3),
+			})
+		}
+	}
+	add(FaultDrop, mix.Drops)
+	add(FaultDuplicate, mix.Duplicates)
+	add(FaultCorrupt, mix.Corruptions)
+	add(FaultDelay, mix.Delays)
+	add(FaultReorder, mix.Reorders)
+	if mix.CrashNode >= 0 {
+		events = append(events, FaultEvent{Kind: FaultCrash, Node: mix.CrashNode, Cycle: mix.CrashCycle})
+	}
+	return &FaultPlan{events: events}
+}
+
+// ParseFaultSpec builds a plan from a comma-separated flag string, e.g.
+//
+//	seed=7,drop=2,dup=1,corrupt=1,delay=1,reorder=1,crash=2@5,maxseq=40
+//
+// crash=N@C crashes node N at cycle C. Unknown keys are rejected.
+func ParseFaultSpec(spec string) (*FaultPlan, error) {
+	mix := FaultMix{CrashNode: -1}
+	var seed int64 = 1
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, fmt.Errorf("simnet: fault spec %q: want key=value", field)
+		}
+		if key == "crash" {
+			nodeStr, cycleStr, ok := strings.Cut(val, "@")
+			if !ok {
+				return nil, fmt.Errorf("simnet: fault spec %q: want crash=node@cycle", field)
+			}
+			node, err1 := strconv.Atoi(nodeStr)
+			cycle, err2 := strconv.Atoi(cycleStr)
+			if err1 != nil || err2 != nil || node < 0 || cycle < 0 {
+				return nil, fmt.Errorf("simnet: fault spec %q: bad crash node/cycle", field)
+			}
+			mix.CrashNode, mix.CrashCycle = node, cycle
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("simnet: fault spec %q: bad count", field)
+		}
+		switch key {
+		case "seed":
+			seed = n
+		case "drop":
+			mix.Drops = int(n)
+		case "dup":
+			mix.Duplicates = int(n)
+		case "corrupt":
+			mix.Corruptions = int(n)
+		case "delay":
+			mix.Delays = int(n)
+		case "reorder":
+			mix.Reorders = int(n)
+		case "maxseq":
+			mix.MaxSeq = uint64(n)
+		default:
+			return nil, fmt.Errorf("simnet: fault spec: unknown key %q", key)
+		}
+	}
+	return RandomFaultPlan(seed, mix), nil
+}

@@ -1,0 +1,232 @@
+package simnet
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEnvelopeDetectsDrop(t *testing.T) {
+	f := New(2)
+	f.SetFaultPlan(NewFaultPlan(FaultEvent{Kind: FaultDrop, Src: 0, Dst: 1, Seq: 0}))
+	if err := f.Send(0, 1, []float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(1, 0); !errors.Is(err, ErrNoPending) {
+		t.Fatalf("dropped message surfaced as %v, want ErrNoPending", err)
+	}
+	// The retained copy heals the pair.
+	if err := f.Rerequest(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Recv(1, 0)
+	if err != nil || len(m) != 3 || m[2] != 3 {
+		t.Fatalf("replayed recv: %v %v", m, err)
+	}
+	if f.Resends() != 1 {
+		t.Errorf("resends = %d, want 1", f.Resends())
+	}
+}
+
+func TestEnvelopeDetectsCorruption(t *testing.T) {
+	f := New(2)
+	f.SetFaultPlan(NewFaultPlan(FaultEvent{Kind: FaultCorrupt, Src: 0, Dst: 1, Seq: 0}))
+	if err := f.Send(0, 1, []float64{4, 5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Recv(1, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted message surfaced as %v, want ErrCorrupt", err)
+	}
+	if err := f.Rerequest(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	m, err := f.Recv(1, 0)
+	if err != nil || len(m) != 3 || m[0] != 4 || m[1] != 5 || m[2] != 6 {
+		t.Fatalf("replay should deliver the pristine payload: %v %v", m, err)
+	}
+}
+
+func TestDuplicateIsDiscardedAsStale(t *testing.T) {
+	f := New(2)
+	f.SetFaultPlan(NewFaultPlan(FaultEvent{Kind: FaultDuplicate, Src: 0, Dst: 1, Seq: 0}))
+	if err := f.Send(0, 1, []float64{7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(0, 1, []float64{8}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := f.Recv(1, 0); err != nil || m[0] != 7 {
+		t.Fatalf("first recv: %v %v", m, err)
+	}
+	// The duplicate (stale seq) must be skipped, delivering seq 1.
+	if m, err := f.Recv(1, 0); err != nil || m[0] != 8 {
+		t.Fatalf("second recv should skip the stale duplicate: %v %v", m, err)
+	}
+	if f.PendingFrom(1, 0) != 0 {
+		t.Errorf("stale duplicate not purged: %d pending", f.PendingFrom(1, 0))
+	}
+}
+
+func TestReorderIsAbsorbedBySequenceScan(t *testing.T) {
+	f := New(2)
+	// Duplicate seq 0 so two messages share the queue, then jump seq 1 to
+	// the front: the receiver must still deliver in sequence order.
+	f.SetFaultPlan(NewFaultPlan(
+		FaultEvent{Kind: FaultDuplicate, Src: 0, Dst: 1, Seq: 0},
+		FaultEvent{Kind: FaultReorder, Src: 0, Dst: 1, Seq: 1},
+	))
+	if err := f.Send(0, 1, []float64{10}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Send(0, 1, []float64{11}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := f.Recv(1, 0); err != nil || m[0] != 10 {
+		t.Fatalf("recv 1: %v %v", m, err)
+	}
+	if m, err := f.Recv(1, 0); err != nil || m[0] != 11 {
+		t.Fatalf("recv 2: %v %v", m, err)
+	}
+}
+
+func TestDelayedMessageSurfacesAfterRetries(t *testing.T) {
+	f := New(2)
+	f.SetFaultPlan(NewFaultPlan(FaultEvent{Kind: FaultDelay, Src: 0, Dst: 1, Seq: 0, Delay: 2}))
+	if err := f.Send(0, 1, []float64{12}); err != nil {
+		t.Fatal(err)
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := f.Recv(1, 0); !errors.Is(err, ErrNoPending) {
+			t.Fatalf("attempt %d: %v, want ErrNoPending while delayed", attempt, err)
+		}
+	}
+	if m, err := f.Recv(1, 0); err != nil || m[0] != 12 {
+		t.Fatalf("delayed message never arrived: %v %v", m, err)
+	}
+}
+
+func TestCrashTakesNodeDownAndRepairRevives(t *testing.T) {
+	f := New(3)
+	f.SetFaultPlan(NewFaultPlan(FaultEvent{Kind: FaultCrash, Node: 1, Cycle: 2}))
+	f.BeginCycle(0)
+	if f.NodeDown(1) {
+		t.Fatal("node down before its scheduled cycle")
+	}
+	if err := f.Send(0, 1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	f.BeginCycle(2)
+	if !f.NodeDown(1) {
+		t.Fatal("scheduled crash did not fire")
+	}
+	if err := f.Send(0, 1, nil); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("send to downed node: %v, want ErrNodeDown", err)
+	}
+	if err := f.Send(1, 0, nil); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("send from downed node: %v, want ErrNodeDown", err)
+	}
+	if _, err := f.Recv(0, 1); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("recv from downed node: %v, want ErrNodeDown", err)
+	}
+	if err := f.Rerequest(0, 1); !errors.Is(err, ErrNodeDown) {
+		t.Errorf("rerequest from downed node: %v, want ErrNodeDown", err)
+	}
+	f.Repair()
+	if f.NodeDown(1) {
+		t.Fatal("Repair did not revive the node")
+	}
+	// Transport reset: sequence space restarts cleanly.
+	if err := f.Send(0, 1, []float64{9}); err != nil {
+		t.Fatal(err)
+	}
+	if m, err := f.Recv(1, 0); err != nil || m[0] != 9 {
+		t.Fatalf("post-repair exchange: %v %v", m, err)
+	}
+	// A fired crash does not re-fire on replayed cycles.
+	f.BeginCycle(2)
+	if f.NodeDown(1) {
+		t.Fatal("crash re-fired after Repair")
+	}
+}
+
+func TestRandomFaultPlanDeterministic(t *testing.T) {
+	mix := FaultMix{Drops: 2, Duplicates: 1, Corruptions: 2, Delays: 1, Reorders: 1, CrashNode: 2, CrashCycle: 5}
+	a, b := RandomFaultPlan(42, mix), RandomFaultPlan(42, mix)
+	if len(a.events) != len(b.events) || len(a.events) != 8 {
+		t.Fatalf("event counts: %d vs %d", len(a.events), len(b.events))
+	}
+	for i := range a.events {
+		if a.events[i] != b.events[i] {
+			t.Fatalf("event %d differs between identically seeded plans: %+v vs %+v", i, a.events[i], b.events[i])
+		}
+	}
+	c := RandomFaultPlan(43, mix)
+	same := true
+	for i := range a.events {
+		if a.events[i] != c.events[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestParseFaultSpec(t *testing.T) {
+	p, err := ParseFaultSpec("seed=7,drop=2,dup=1,corrupt=1,delay=1,reorder=1,crash=2@5,maxseq=40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.events) != 7 {
+		t.Fatalf("parsed %d events, want 7", len(p.events))
+	}
+	crash := p.events[len(p.events)-1]
+	if crash.Kind != FaultCrash || crash.Node != 2 || crash.Cycle != 5 {
+		t.Errorf("crash event = %+v", crash)
+	}
+	for _, bad := range []string{"drop", "drop=-1", "crash=2", "crash=x@y", "bogus=1"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if p2, err := ParseFaultSpec(""); err != nil || p2.Unfired() != 0 {
+		t.Errorf("empty spec: %v, %d events unfired", err, p2.Unfired())
+	}
+}
+
+func TestFaultStatsAndUnfired(t *testing.T) {
+	f := New(2)
+	plan := NewFaultPlan(
+		FaultEvent{Kind: FaultDrop, Src: -1, Dst: -1, Seq: 0},
+		FaultEvent{Kind: FaultCorrupt, Src: -1, Dst: -1, Seq: 99}, // never fires
+	)
+	f.SetFaultPlan(plan)
+	if err := f.Send(0, 1, []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	st := plan.Stats()
+	if st.Drops != 1 || st.Corruptions != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if plan.Unfired() != 1 {
+		t.Errorf("unfired = %d, want 1", plan.Unfired())
+	}
+}
+
+func TestNoPlanFastPathUnchanged(t *testing.T) {
+	// Without a plan the envelope still enforces ordering and integrity.
+	f := New(2)
+	for i := 0; i < 5; i++ {
+		if err := f.Send(0, 1, []float64{float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		m, err := f.Recv(1, 0)
+		if err != nil || m[0] != float64(i) {
+			t.Fatalf("fifo broken at %d: %v %v", i, m, err)
+		}
+	}
+	if _, err := f.Recv(1, 0); !errors.Is(err, ErrNoPending) {
+		t.Errorf("empty recv: %v, want ErrNoPending", err)
+	}
+}

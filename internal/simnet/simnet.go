@@ -1,28 +1,92 @@
 // Package simnet provides the in-process message-passing fabric that stands
 // in for the Intel Touchstone Delta's NX interconnect. Each endpoint
-// (simulated processor node) has a mailbox per peer; sends enqueue packed
-// float payloads, receives dequeue them in FIFO order. The fabric counts
-// messages and bytes per endpoint so the Delta machine model can convert
-// real communication volume into simulated time, and so tests can assert
-// the paper's message-aggregation claims.
+// (simulated processor node) has a FIFO queue per peer; sends enqueue packed
+// float payloads under a typed envelope (per-pair sequence number and
+// payload checksum), receives dequeue them in pairwise FIFO order. The
+// fabric counts messages and bytes per endpoint so the Delta machine model
+// can convert real communication volume into simulated time, and so tests
+// can assert the paper's message-aggregation claims.
+//
+// Unlike the paper's Delta runs, the fabric does not assume a perfect
+// interconnect: a seeded FaultPlan (see fault.go) can be attached to inject
+// deterministic message drops, duplications, reorderings, payload
+// corruption, delayed delivery and whole-node crashes. The envelope lets
+// receivers detect every such fault (sequence gaps, checksum mismatches),
+// and the retained-copy replay buffer (Rerequest) gives the PARTI executors
+// a bounded ARQ protocol to heal them. With no plan attached the fault
+// machinery is a single nil check off the hot path.
 package simnet
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 )
+
+// Typed transport errors. Callers match with errors.Is; every error
+// returned by Send/Recv/Rerequest wraps exactly one of these (or is a
+// caller bug such as an out-of-range endpoint).
+var (
+	// ErrNoPending: no deliverable message with the expected sequence
+	// number (never sent, dropped in flight, or still delayed).
+	ErrNoPending = errors.New("no pending message")
+	// ErrCorrupt: the message with the expected sequence number failed its
+	// checksum. The damaged copy is discarded; Rerequest can replay the
+	// sender's pristine retained copy.
+	ErrCorrupt = errors.New("corrupt message")
+	// ErrNodeDown: an endpoint of the operation has crashed. Not healable
+	// at the transport layer — the recovery orchestrator must Repair the
+	// fabric and restore solver state from a checkpoint.
+	ErrNodeDown = errors.New("node down")
+)
+
+// message is the typed envelope replacing the old float64(src) header:
+// a per-(src,dst)-pair sequence number plus an FNV-1a checksum of the
+// payload bits. src/dst are implicit in the per-pair queue indexing.
+type message struct {
+	seq     uint64
+	sum     uint64
+	payload []float64
+	delay   int // fault injection: invisible for this many Recv scans
+}
+
+// checksumFloats is FNV-1a over the payload's IEEE-754 bit patterns —
+// cheap enough to run on every send and receive, strong enough to catch
+// any single bit flip.
+func checksumFloats(p []float64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, v := range p {
+		h ^= math.Float64bits(v)
+		h *= 1099511628211
+	}
+	return h
+}
 
 // Fabric is a fully-connected message network between N endpoints.
 type Fabric struct {
-	n      int
-	mu     []sync.Mutex  // one per destination endpoint
-	queues [][][]float64 // queues[dst][src] = FIFO of payloads
+	n  int
+	mu []sync.Mutex // one per destination endpoint
+
+	queues   [][][]message // queues[dst][src]: pairwise FIFO
+	nextSend [][]uint64    // nextSend[dst][src]: next seq to assign
+	nextRecv [][]uint64    // nextRecv[dst][src]: next seq expected
+	retained [][]message   // retained[dst][src]: last pristine send (ARQ replay buffer)
+	hasRet   [][]bool
+
+	plan *FaultPlan
+
+	anyDown atomic.Bool // fast-path gate for the down checks
+	downMu  sync.RWMutex
+	down    []bool
 
 	statMu    sync.Mutex
 	msgsSent  []int64
 	bytesSent []int64
 	msgsRecv  []int64
 	bytesRecv []int64
+	resent    int64
 }
 
 // New creates a fabric with n endpoints.
@@ -30,11 +94,23 @@ func New(n int) *Fabric {
 	f := &Fabric{
 		n:         n,
 		mu:        make([]sync.Mutex, n),
-		queues:    make([][][]float64, n),
+		queues:    make([][][]message, n),
+		nextSend:  make([][]uint64, n),
+		nextRecv:  make([][]uint64, n),
+		retained:  make([][]message, n),
+		hasRet:    make([][]bool, n),
+		down:      make([]bool, n),
 		msgsSent:  make([]int64, n),
 		bytesSent: make([]int64, n),
 		msgsRecv:  make([]int64, n),
 		bytesRecv: make([]int64, n),
+	}
+	for dst := 0; dst < n; dst++ {
+		f.queues[dst] = make([][]message, n)
+		f.nextSend[dst] = make([]uint64, n)
+		f.nextRecv[dst] = make([]uint64, n)
+		f.retained[dst] = make([]message, n)
+		f.hasRet[dst] = make([]bool, n)
 	}
 	return f
 }
@@ -42,15 +118,94 @@ func New(n int) *Fabric {
 // N returns the number of endpoints.
 func (f *Fabric) N() int { return f.n }
 
+// SetFaultPlan attaches a fault-injection plan (nil detaches). Must not be
+// called while exchanges are in flight.
+func (f *Fabric) SetFaultPlan(p *FaultPlan) { f.plan = p }
+
+func (f *Fabric) nodeDown(p int) bool {
+	if !f.anyDown.Load() {
+		return false
+	}
+	f.downMu.RLock()
+	d := f.down[p]
+	f.downMu.RUnlock()
+	return d
+}
+
+// BeginCycle informs the fabric that solver cycle c is starting, firing any
+// scheduled whole-node crash events up to and including c. Each crash event
+// fires once: after a Repair the replacement node stays up.
+func (f *Fabric) BeginCycle(c int) {
+	if f.plan == nil {
+		return
+	}
+	for _, node := range f.plan.crashesThrough(c) {
+		if node >= 0 && node < f.n {
+			f.downMu.Lock()
+			f.down[node] = true
+			f.downMu.Unlock()
+			f.anyDown.Store(true)
+		}
+	}
+}
+
+// Repair revives all crashed nodes and resets the transport layer: queues,
+// sequence numbers and replay buffers are cleared on every pair. The
+// recovery orchestrator calls this before restoring partition state from a
+// checkpoint, so the resumed run starts from a clean bulk-synchronous
+// slate. Statistics are preserved.
+func (f *Fabric) Repair() {
+	f.downMu.Lock()
+	for p := range f.down {
+		f.down[p] = false
+	}
+	f.downMu.Unlock()
+	f.anyDown.Store(false)
+	for dst := 0; dst < f.n; dst++ {
+		f.mu[dst].Lock()
+		for src := 0; src < f.n; src++ {
+			f.queues[dst][src] = nil
+			f.nextSend[dst][src] = 0
+			f.nextRecv[dst][src] = 0
+			f.hasRet[dst][src] = false
+			f.retained[dst][src] = message{}
+		}
+		f.mu[dst].Unlock()
+	}
+}
+
+// NodeDown reports whether endpoint p has crashed.
+func (f *Fabric) NodeDown(p int) bool { return f.nodeDown(p) }
+
 // Send enqueues payload from src to dst. The payload is copied into the
 // message, so callers may reuse their buffer immediately. Messages between
-// the same pair are delivered in order.
+// the same pair are delivered in order (by sequence number).
 func (f *Fabric) Send(src, dst int, payload []float64) error {
 	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
 		return fmt.Errorf("simnet: send %d->%d out of range [0,%d)", src, dst, f.n)
 	}
+	if f.nodeDown(src) {
+		return fmt.Errorf("simnet: send %d->%d: source: %w", src, dst, ErrNodeDown)
+	}
+	if f.nodeDown(dst) {
+		return fmt.Errorf("simnet: send %d->%d: destination: %w", src, dst, ErrNodeDown)
+	}
+	cp := append([]float64(nil), payload...)
+	m := message{sum: checksumFloats(cp), payload: cp}
+
 	f.mu[dst].Lock()
-	f.queues[dst] = append(f.queues[dst], append([]float64{float64(src)}, payload...))
+	m.seq = f.nextSend[dst][src]
+	f.nextSend[dst][src]++
+	// Retain the pristine copy for replay: the bulk-synchronous exchange
+	// discipline keeps at most one message in flight per pair, so one slot
+	// suffices.
+	f.retained[dst][src] = m
+	f.hasRet[dst][src] = true
+	if f.plan != nil {
+		f.enqueueFaulty(dst, src, m)
+	} else {
+		f.queues[dst][src] = append(f.queues[dst][src], m)
+	}
 	f.mu[dst].Unlock()
 
 	f.statMu.Lock()
@@ -60,34 +215,158 @@ func (f *Fabric) Send(src, dst int, payload []float64) error {
 	return nil
 }
 
-// Recv dequeues the oldest pending message to dst from src. It returns an
-// error if no such message is pending (the executors in this repository
-// always send before receiving, so a missing message is a protocol bug,
-// not a race).
+// enqueueFaulty applies the fault plan to one send. Called with mu[dst]
+// held.
+func (f *Fabric) enqueueFaulty(dst, src int, m message) {
+	ev := f.plan.matchSend(src, dst, m.seq)
+	if ev == nil {
+		f.queues[dst][src] = append(f.queues[dst][src], m)
+		return
+	}
+	q := f.queues[dst][src]
+	switch ev.Kind {
+	case FaultDrop:
+		return // lost in flight; the retained copy can still be replayed
+	case FaultDuplicate:
+		q = append(q, m, m)
+	case FaultCorrupt:
+		// Flip one payload bit in the queued copy only; the retained copy
+		// stays pristine so a re-request heals the exchange.
+		cp := append([]float64(nil), m.payload...)
+		if len(cp) > 0 {
+			i := int(m.seq) % len(cp)
+			cp[i] = math.Float64frombits(math.Float64bits(cp[i]) ^ 1<<(m.seq%52))
+		}
+		m.payload = cp
+		q = append(q, m)
+	case FaultDelay:
+		d := ev.Delay
+		if d <= 0 {
+			d = 2
+		}
+		m.delay = d
+		q = append(q, m)
+	case FaultReorder:
+		q = append([]message{m}, q...) // jump the queue
+	default:
+		q = append(q, m)
+	}
+	f.queues[dst][src] = q
+}
+
+// Recv dequeues the message with the next expected sequence number sent to
+// dst by src. Stale duplicates (sequence already delivered) encountered
+// during the scan are discarded. The error, when non-nil, wraps one of the
+// typed transport errors: ErrNoPending when no deliverable message with the
+// expected sequence exists, ErrCorrupt when it exists but fails its
+// checksum (the damaged copy is removed so a replay can take its place),
+// ErrNodeDown when either endpoint has crashed.
 func (f *Fabric) Recv(dst, src int) ([]float64, error) {
 	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
 		return nil, fmt.Errorf("simnet: recv %d<-%d out of range [0,%d)", dst, src, f.n)
 	}
+	if f.nodeDown(src) {
+		return nil, fmt.Errorf("simnet: recv %d<-%d: sender: %w", dst, src, ErrNodeDown)
+	}
+	if f.nodeDown(dst) {
+		return nil, fmt.Errorf("simnet: recv %d<-%d: receiver: %w", dst, src, ErrNodeDown)
+	}
 	f.mu[dst].Lock()
 	defer f.mu[dst].Unlock()
-	for i, m := range f.queues[dst] {
-		if int(m[0]) == src {
-			f.queues[dst] = append(f.queues[dst][:i], f.queues[dst][i+1:]...)
-			f.statMu.Lock()
-			f.msgsRecv[dst]++
-			f.bytesRecv[dst] += int64(8 * (len(m) - 1))
-			f.statMu.Unlock()
-			return m[1:], nil
+	q := f.queues[dst][src]
+	want := f.nextRecv[dst][src]
+	var out []float64
+	var rerr error
+	kept := q[:0]
+	for i := range q {
+		m := q[i]
+		if m.seq < want {
+			continue // stale duplicate: already delivered, discard
 		}
+		if m.seq == want && out == nil && rerr == nil {
+			if m.delay > 0 {
+				m.delay-- // still in flight: visible on a later attempt
+				kept = append(kept, m)
+				continue
+			}
+			if checksumFloats(m.payload) != m.sum {
+				rerr = fmt.Errorf("simnet: recv %d<-%d seq %d: %w", dst, src, m.seq, ErrCorrupt)
+				continue // drop the damaged copy; expected seq is unchanged
+			}
+			out = m.payload
+			continue // consumed
+		}
+		kept = append(kept, m)
 	}
-	return nil, fmt.Errorf("simnet: no pending message %d<-%d", dst, src)
+	f.queues[dst][src] = kept
+	if out != nil {
+		f.nextRecv[dst][src] = want + 1
+		f.statMu.Lock()
+		f.msgsRecv[dst]++
+		f.bytesRecv[dst] += int64(8 * len(out))
+		f.statMu.Unlock()
+		return out, nil
+	}
+	if rerr != nil {
+		return nil, rerr
+	}
+	return nil, fmt.Errorf("simnet: recv %d<-%d seq %d: %w", dst, src, want, ErrNoPending)
+}
+
+// Rerequest is the receiver-driven ARQ primitive: it replays the sender's
+// retained pristine copy of the last message on the pair, healing a drop,
+// a corruption or an excessive delay. It fails with ErrNoPending when there
+// is nothing undelivered to replay and with ErrNodeDown when the sender has
+// crashed (a crashed sender cannot retransmit).
+func (f *Fabric) Rerequest(dst, src int) error {
+	if src < 0 || src >= f.n || dst < 0 || dst >= f.n {
+		return fmt.Errorf("simnet: rerequest %d<-%d out of range [0,%d)", dst, src, f.n)
+	}
+	if f.nodeDown(src) || f.nodeDown(dst) {
+		return fmt.Errorf("simnet: rerequest %d<-%d: %w", dst, src, ErrNodeDown)
+	}
+	f.mu[dst].Lock()
+	defer f.mu[dst].Unlock()
+	if !f.hasRet[dst][src] {
+		return fmt.Errorf("simnet: rerequest %d<-%d: nothing retained: %w", dst, src, ErrNoPending)
+	}
+	m := f.retained[dst][src]
+	if m.seq < f.nextRecv[dst][src] {
+		return fmt.Errorf("simnet: rerequest %d<-%d: seq %d already delivered: %w", dst, src, m.seq, ErrNoPending)
+	}
+	f.queues[dst][src] = append(f.queues[dst][src], m)
+	f.statMu.Lock()
+	f.msgsSent[src]++
+	f.bytesSent[src] += int64(8 * len(m.payload))
+	f.resent++
+	f.statMu.Unlock()
+	return nil
 }
 
 // Pending returns the number of undelivered messages destined to dst.
 func (f *Fabric) Pending(dst int) int {
 	f.mu[dst].Lock()
 	defer f.mu[dst].Unlock()
-	return len(f.queues[dst])
+	n := 0
+	for src := range f.queues[dst] {
+		n += len(f.queues[dst][src])
+	}
+	return n
+}
+
+// PendingFrom returns the number of undelivered messages to dst from src.
+func (f *Fabric) PendingFrom(dst, src int) int {
+	f.mu[dst].Lock()
+	defer f.mu[dst].Unlock()
+	return len(f.queues[dst][src])
+}
+
+// Resends returns the number of retained-copy replays served since the last
+// ResetStats — nonzero only when faults were injected and healed.
+func (f *Fabric) Resends() int64 {
+	f.statMu.Lock()
+	defer f.statMu.Unlock()
+	return f.resent
 }
 
 // Stats returns total messages and bytes sent by endpoint p since the last
@@ -127,4 +406,5 @@ func (f *Fabric) ResetStats() {
 		f.msgsRecv[p] = 0
 		f.bytesRecv[p] = 0
 	}
+	f.resent = 0
 }

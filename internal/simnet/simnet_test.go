@@ -1,7 +1,7 @@
 package simnet
 
 import (
-	"sync"
+	"errors"
 	"testing"
 )
 
@@ -35,8 +35,33 @@ func TestSendRecvFIFO(t *testing.T) {
 
 func TestRecvMissing(t *testing.T) {
 	f := New(2)
-	if _, err := f.Recv(0, 1); err == nil {
-		t.Error("expected error on empty recv")
+	if _, err := f.Recv(0, 1); !errors.Is(err, ErrNoPending) {
+		t.Errorf("empty recv returned %v, want ErrNoPending", err)
+	}
+}
+
+func TestPendingPerPeer(t *testing.T) {
+	f := New(3)
+	_ = f.Send(0, 2, []float64{1})
+	_ = f.Send(0, 2, []float64{2})
+	_ = f.Send(1, 2, []float64{3})
+	if got := f.PendingFrom(2, 0); got != 2 {
+		t.Errorf("PendingFrom(2,0) = %d, want 2", got)
+	}
+	if got := f.PendingFrom(2, 1); got != 1 {
+		t.Errorf("PendingFrom(2,1) = %d, want 1", got)
+	}
+	if got := f.Pending(2); got != 3 {
+		t.Errorf("Pending(2) = %d, want 3", got)
+	}
+	if _, err := f.Recv(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.PendingFrom(2, 1); got != 0 {
+		t.Errorf("PendingFrom(2,1) after recv = %d, want 0", got)
+	}
+	if got := f.Pending(2); got != 2 {
+		t.Errorf("Pending(2) after recv = %d, want 2", got)
 	}
 }
 
@@ -68,52 +93,5 @@ func TestStats(t *testing.T) {
 	f.ResetStats()
 	if m, b := f.Stats(0); m != 0 || b != 0 {
 		t.Error("reset did not clear stats")
-	}
-}
-
-func TestBarrierAwaitCheckConsistentVerdict(t *testing.T) {
-	// All parties must receive the verdict evaluated by the last arriver,
-	// even when the condition changes immediately afterwards.
-	const n = 6
-	b := NewBarrier(n)
-	var mu sync.Mutex
-	healthy := true
-	results := make(chan bool, n)
-	for p := 0; p < n; p++ {
-		go func(p int) {
-			v := b.AwaitCheck(func() bool {
-				mu.Lock()
-				defer mu.Unlock()
-				return healthy
-			})
-			if p == 0 {
-				// Flip the flag right after release: later readers of the
-				// verdict must still see the snapshot.
-				mu.Lock()
-				healthy = false
-				mu.Unlock()
-			}
-			results <- v
-		}(p)
-	}
-	for p := 0; p < n; p++ {
-		if v := <-results; !v {
-			t.Fatal("verdict should be the healthy snapshot for every party")
-		}
-	}
-	// Next generation: everyone must now agree on false.
-	for p := 0; p < n; p++ {
-		go func() {
-			results <- b.AwaitCheck(func() bool {
-				mu.Lock()
-				defer mu.Unlock()
-				return healthy
-			})
-		}()
-	}
-	for p := 0; p < n; p++ {
-		if v := <-results; v {
-			t.Fatal("second-generation verdict should be false for every party")
-		}
 	}
 }

@@ -11,15 +11,27 @@ import (
 
 	"eul3d/internal/euler"
 	"eul3d/internal/mesh"
+	"eul3d/internal/meshio"
 	"eul3d/internal/multigrid"
 )
 
 // Options controls a steady-state run.
 type Options struct {
-	MaxCycles int     // hard iteration limit
+	MaxCycles int     // hard iteration limit (total, including resumed cycles)
 	Tolerance float64 // stop when residual/initial falls below this (0 = run all cycles)
 	LogEvery  int     // progress line period (0 = silent)
 	Log       io.Writer
+
+	// Checkpointing: every CheckpointEvery cycles an atomic, CRC-trailered
+	// snapshot of the solution, cycle count and residual history is written
+	// to CheckpointPath (both fields must be set to enable it). Mach and
+	// AlphaDeg are recorded as metadata. A run restored from such a
+	// snapshot (Restore) reproduces the uninterrupted residual history
+	// bitwise.
+	CheckpointEvery int
+	CheckpointPath  string
+	Mach            float64
+	AlphaDeg        float64
 }
 
 // Result summarizes a run.
@@ -58,7 +70,7 @@ func NewSingleGrid(m *mesh.Mesh, p euler.Params) *Steady {
 	d := euler.NewDisc(m, p)
 	w := make([]euler.State, m.NV())
 	d.InitUniform(w)
-	return &Steady{s: &singleStepper{d: d, w: w, ws: euler.NewStepWorkspace(m.NV())}}
+	return &Steady{s: &singleStepper{d: d, w: w, ws: euler.NewStepWorkspace(m.NV())}, cfl: p.CFL}
 }
 
 // NewMultigrid builds a multigrid steady solver over the mesh sequence
@@ -68,13 +80,35 @@ func NewMultigrid(meshes []*mesh.Mesh, p euler.Params, gamma int) (*Steady, erro
 	if err != nil {
 		return nil, err
 	}
-	return &Steady{s: &mgStepper{mg: mg}, MG: mg}, nil
+	return &Steady{s: &mgStepper{mg: mg}, MG: mg, cfl: p.CFL}, nil
 }
 
 // Steady is a steady-state solver ready to Run.
 type Steady struct {
 	s  stepper
 	MG *multigrid.Solver // non-nil for multigrid runs
+
+	cfl        float64   // recorded in checkpoints
+	startCycle int       // first cycle index Run will execute (set by Restore)
+	prior      []float64 // residual history carried over from a checkpoint
+}
+
+// Restore warm-starts the solver from a checkpoint so that a subsequent
+// Run continues exactly where the checkpointed run stopped: the solution is
+// restored, cycle numbering resumes at ck.Cycle, and ck.History is
+// prepended to the new run's history. Because the solver is deterministic,
+// the resumed history and solution are bitwise identical to an
+// uninterrupted run.
+func (st *Steady) Restore(ck *meshio.Checkpoint) error {
+	if len(ck.History) != ck.Cycle {
+		return fmt.Errorf("solver: checkpoint at cycle %d has %d history entries", ck.Cycle, len(ck.History))
+	}
+	if err := st.SetInitial(ck.Sol); err != nil {
+		return err
+	}
+	st.startCycle = ck.Cycle
+	st.prior = append([]float64(nil), ck.History...)
+	return nil
 }
 
 // SetInitial warm-starts the solver from a previously computed fine-grid
@@ -90,22 +124,35 @@ func (st *Steady) SetInitial(w []euler.State) error {
 }
 
 // Run iterates until convergence or the cycle limit and returns the
-// result. The returned FineSolution aliases the solver's state.
+// result. After a Restore, iteration picks up at the checkpointed cycle
+// and History includes the checkpointed prefix, so MaxCycles always means
+// the total cycle count. The returned FineSolution aliases the solver's
+// state.
 func (st *Steady) Run(opt Options) (*Result, error) {
 	if opt.MaxCycles <= 0 {
 		return nil, fmt.Errorf("solver: MaxCycles must be positive")
 	}
-	res := &Result{}
-	for c := 0; c < opt.MaxCycles; c++ {
+	res := &Result{History: append([]float64(nil), st.prior...)}
+	if n := len(res.History); n > 0 {
+		res.InitialNorm = res.History[0]
+		res.FinalNorm = res.History[n-1]
+		res.Cycles = n
+	}
+	for c := st.startCycle; c < opt.MaxCycles; c++ {
 		norm := st.s.cycle()
 		res.History = append(res.History, norm)
-		if c == 0 {
+		if len(res.History) == 1 {
 			res.InitialNorm = norm
 		}
 		res.FinalNorm = norm
 		res.Cycles = c + 1
 		if opt.LogEvery > 0 && opt.Log != nil && c%opt.LogEvery == 0 {
 			fmt.Fprintf(opt.Log, "cycle %5d  residual %.3e\n", c, norm)
+		}
+		if opt.CheckpointEvery > 0 && opt.CheckpointPath != "" && (c+1)%opt.CheckpointEvery == 0 {
+			if err := st.saveCheckpoint(&opt, c+1, res.History); err != nil {
+				return nil, fmt.Errorf("solver: checkpoint at cycle %d: %w", c+1, err)
+			}
 		}
 		if opt.Tolerance > 0 && res.InitialNorm > 0 && norm/res.InitialNorm < opt.Tolerance {
 			res.Converged = true
@@ -117,4 +164,18 @@ func (st *Steady) Run(opt Options) (*Result, error) {
 	}
 	res.FineSolution = st.s.solution()
 	return res, nil
+}
+
+// saveCheckpoint snapshots the live solution (copied — checkpoints must
+// not alias mutating solver state) and writes it atomically.
+func (st *Steady) saveCheckpoint(opt *Options, cycle int, history []float64) error {
+	ck := &meshio.Checkpoint{
+		Cycle:    cycle,
+		Mach:     opt.Mach,
+		AlphaDeg: opt.AlphaDeg,
+		CFL:      st.cfl,
+		History:  append([]float64(nil), history...),
+		Sol:      append([]euler.State(nil), st.s.solution()...),
+	}
+	return meshio.SaveCheckpoint(opt.CheckpointPath, ck)
 }
