@@ -12,18 +12,21 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrency-bearing packages: the simulated interconnect,
-# the PARTI executors with self-healing receives, and the MIMD solver with
-# its recovery orchestrator.
+# the PARTI executors with self-healing receives, the MIMD solver with its
+# recovery orchestrator, and the shared-memory worker-pool engine.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/...
 
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/...
 
+# Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,
+# which writes its results to BENCH_smsolver.json.
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
+	$(GO) run ./cmd/benchsm -out BENCH_smsolver.json
 
 clean:
 	$(GO) clean ./...

@@ -218,6 +218,7 @@ func BenchmarkSharedMemoryStep(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer s.Close()
 	w := make([]euler.State, m.NV())
 	s.InitUniform(w)
 	b.ReportAllocs()

@@ -1,0 +1,133 @@
+// Command benchsm benchmarks the shared-memory worker-pool solver across a
+// range of worker counts and writes the results as JSON (the artifact
+// behind `make bench`). For each worker count it reports the wall clock
+// per time step, the analytic computational rate (counted flops / measured
+// seconds, the paper's Mflops methodology), the speedup relative to one
+// worker, and the per-step allocation count — which the pool engine keeps
+// at zero.
+//
+// Usage:
+//
+//	benchsm -nx 24 -ny 12 -nz 8 -steps 40 -workers 1,2,4,8 -out BENCH_smsolver.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/flops"
+	"eul3d/internal/meshgen"
+	"eul3d/internal/smsolver"
+)
+
+type workerResult struct {
+	Workers       int     `json:"workers"`
+	NsPerStep     int64   `json:"ns_per_step"`
+	Mflops        float64 `json:"mflops"`
+	SpeedupVs1    float64 `json:"speedup_vs_1"`
+	AllocsPerStep float64 `json:"allocs_per_step"`
+}
+
+type report struct {
+	Mesh struct {
+		NX, NY, NZ int   `json:"-"`
+		Vertices   int   `json:"vertices"`
+		Edges      int   `json:"edges"`
+		Tets       int   `json:"tets"`
+		Seed       int64 `json:"seed"`
+	} `json:"mesh"`
+	GOMAXPROCS   int            `json:"gomaxprocs"`
+	Steps        int            `json:"steps"`
+	FlopsPerStep int64          `json:"flops_per_step"`
+	Results      []workerResult `json:"results"`
+}
+
+func main() {
+	var (
+		nx      = flag.Int("nx", 24, "mesh cells in x")
+		ny      = flag.Int("ny", 12, "mesh cells in y")
+		nz      = flag.Int("nz", 8, "mesh cells in z")
+		seed    = flag.Int64("seed", 17, "mesh jitter seed")
+		steps   = flag.Int("steps", 40, "timed steps per worker count")
+		warmup  = flag.Int("warmup", 5, "untimed warm-up steps per worker count")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+		out     = flag.String("out", "BENCH_smsolver.json", "output JSON path")
+	)
+	flag.Parse()
+
+	m, err := meshgen.Channel(meshgen.DefaultChannel(*nx, *ny, *nz, *seed))
+	if err != nil {
+		log.Fatalf("benchsm: %v", err)
+	}
+	p := euler.DefaultParams(0.675, 0)
+
+	var rep report
+	rep.Mesh.Vertices, rep.Mesh.Edges, rep.Mesh.Tets = m.NV(), m.NE(), m.NT()
+	rep.Mesh.Seed = *seed
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.Steps = *steps
+	rep.FlopsPerStep = flops.Step(int64(m.NV()), int64(m.NE()), int64(len(m.BFaces)),
+		len(p.Stages), euler.DissipStages, p.NSmooth)
+
+	fmt.Printf("mesh: %d vertices, %d edges (GOMAXPROCS=%d)\n",
+		m.NV(), m.NE(), rep.GOMAXPROCS)
+	fmt.Printf("%8s %14s %10s %10s %8s\n", "workers", "ns/step", "Mflops", "speedup", "allocs")
+
+	var base float64
+	for _, tok := range strings.Split(*workers, ",") {
+		nw, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || nw < 1 {
+			log.Fatalf("benchsm: bad -workers entry %q", tok)
+		}
+		s, err := smsolver.New(m, p, nw)
+		if err != nil {
+			log.Fatalf("benchsm: %v", err)
+		}
+		w := make([]euler.State, m.NV())
+		s.InitUniform(w)
+		for i := 0; i < *warmup; i++ {
+			s.Step(w, nil)
+		}
+		t0 := time.Now()
+		for i := 0; i < *steps; i++ {
+			s.Step(w, nil)
+		}
+		elapsed := time.Since(t0)
+		allocs := testing.AllocsPerRun(3, func() { s.Step(w, nil) })
+		s.Close()
+
+		r := workerResult{
+			Workers:       nw,
+			NsPerStep:     elapsed.Nanoseconds() / int64(*steps),
+			AllocsPerStep: allocs,
+		}
+		perStep := elapsed.Seconds() / float64(*steps)
+		r.Mflops = float64(rep.FlopsPerStep) / perStep / 1e6
+		if base == 0 {
+			base = perStep
+		}
+		r.SpeedupVs1 = base / perStep
+		rep.Results = append(rep.Results, r)
+		fmt.Printf("%8d %14d %10.0f %10.2f %8.0f\n",
+			r.Workers, r.NsPerStep, r.Mflops, r.SpeedupVs1, r.AllocsPerStep)
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatalf("benchsm: %v", err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		log.Fatalf("benchsm: %v", err)
+	}
+	fmt.Printf("written to %s\n", *out)
+}

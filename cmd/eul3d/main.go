@@ -45,6 +45,8 @@ func main() {
 		seed     = flag.Int64("seed", 17, "mesh jitter seed")
 		logEvery = flag.Int("log-every", 25, "cycles between progress lines (0 = silent)")
 		contours = flag.Bool("contours", false, "print ASCII Mach contours of the final solution")
+		workers  = flag.Int("workers", 0, "with -strategy single: shared-memory worker-pool solver with this many workers (0 = sequential)")
+		stats    = flag.Bool("stats", false, "print the per-phase wall-clock / Mflops breakdown after the run")
 		meshPfx  = flag.String("mesh-prefix", "", "load meshes from <prefix>.L<level>.mesh (see cmd/meshgen) instead of generating")
 		saveSol  = flag.String("save-solution", "", "write the converged fine-grid solution to this file")
 		saveVTK  = flag.String("save-vtk", "", "write mesh + solution as a legacy VTK file (ParaView)")
@@ -117,8 +119,20 @@ func main() {
 		}
 		m := seq[0]
 		fmt.Printf("mesh: %d points, %d tetrahedra, %d edges\n", m.NV(), m.NT(), m.NE())
-		st = solver.NewSingleGrid(m, p)
+		if *workers > 0 {
+			st, err = solver.NewSharedMemory(m, p, *workers)
+			if err != nil {
+				log.Fatalf("eul3d: %v", err)
+			}
+			defer st.Close()
+			fmt.Printf("shared-memory solver: %d workers\n", *workers)
+		} else {
+			st = solver.NewSingleGrid(m, p)
+		}
 	case "v", "w":
+		if *workers > 0 {
+			log.Fatalf("eul3d: -workers requires -strategy single (multigrid runs the sequential scheme)")
+		}
 		seq, err := loadSeq(*levels)
 		if err != nil {
 			log.Fatalf("eul3d: %v", err)
@@ -193,6 +207,10 @@ func main() {
 		}
 	}
 	fmt.Printf("max local Mach number: %.3f\n", maxM)
+
+	if *stats {
+		fmt.Printf("\nper-phase breakdown (analytic flop counts):\n%s", st.Stats())
+	}
 
 	writeHistory(*history, res.History)
 	if *saveSol != "" {

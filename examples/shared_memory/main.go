@@ -49,6 +49,7 @@ func main() {
 	p := euler.DefaultParams(0.675, 0)
 	fmt.Printf("\nGOMAXPROCS = %d\n", runtime.GOMAXPROCS(0))
 	var ref []float64
+	var lastStats string
 	for _, nw := range []int{1, 2, 4} {
 		s, err := smsolver.New(m, p, nw)
 		if err != nil {
@@ -75,7 +76,13 @@ func main() {
 		}
 		fmt.Printf("  %d workers: 20 cycles in %7v, final residual %.6e  [%s]\n",
 			nw, elapsed.Round(time.Millisecond), norms[len(norms)-1], same)
+		lastStats = s.Stats().String()
+		s.Close()
 	}
+
+	// Per-phase breakdown of the last run (counted flops / measured time,
+	// the paper's Mflops methodology).
+	fmt.Printf("\nper-phase breakdown, 4 workers:\n%s", lastStats)
 
 	// What the same loop structure costs on the modeled C90.
 	fmt.Println("\ncalibrated Y-MP C90 model for this mesh (100 single-grid cycles):")

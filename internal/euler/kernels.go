@@ -184,6 +184,40 @@ func (d *Disc) SmoothCombineKernel(rhs, next []State, eps float64, lo, hi int) {
 	}
 }
 
+// StepInitKernel fuses the time-step preamble for vertices [lo,hi): the
+// stage-0 snapshot w0 = w, the pressure refresh, and the reset of the
+// spectral-radius accumulator — three vertex sweeps collapsed into one
+// parallel region.
+func (d *Disc) StepInitKernel(w, w0 []State, lo, hi int) {
+	g := d.P.Gas
+	for i := lo; i < hi; i++ {
+		w0[i] = w[i]
+		d.pres[i] = g.Pressure(w[i])
+		d.lam[i] = 0
+	}
+}
+
+// StageZeroKernel zeroes the stage accumulators for vertices [lo,hi):
+// the convective residual always, and the dissipation workspace
+// (Laplacian, sensor sums, dissipative residual) when zeroDiss is set.
+// Nothing reads these arrays between the previous stage's update and
+// their re-accumulation, so hoisting all the zeroing into one sweep is
+// bitwise neutral.
+func (d *Disc) StageZeroKernel(conv, diss []State, zeroDiss bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		conv[i] = State{}
+	}
+	if !zeroDiss {
+		return
+	}
+	for i := lo; i < hi; i++ {
+		d.lapl[i] = State{}
+		d.sensor[i] = 0
+		d.den[i] = 0
+		diss[i] = State{}
+	}
+}
+
 // UpdateRangeKernel applies one RK stage update for vertices [lo,hi):
 // w = w0 - alpha*Dt/V * res.
 func (d *Disc) UpdateRangeKernel(w, w0, res []State, alpha float64, lo, hi int) {

@@ -66,6 +66,7 @@ type Disc struct {
 	lapl   []State   // undivided Laplacian of w
 	smooth []State   // residual-averaging workspace
 	rhs    []State   // residual-averaging right-hand side copy
+	rdiss  []State   // dissipation scratch for Residual
 	deg    []int32   // vertex degrees (for Jacobi smoothing)
 	Dt     []float64 // local time steps
 }
@@ -82,6 +83,7 @@ func NewDisc(m *mesh.Mesh, p Params) *Disc {
 		lapl:   make([]State, nv),
 		smooth: make([]State, nv),
 		rhs:    make([]State, nv),
+		rdiss:  make([]State, nv),
 		deg:    degrees(m),
 		Dt:     make([]float64, nv),
 	}
@@ -267,7 +269,7 @@ func (d *Disc) ComputeTimeSteps(w []State) {
 // averaging (I + eps*L) Rbar = R, in place on res.
 func (d *Disc) SmoothResiduals(res []State) {
 	eps := d.P.EpsSmooth
-	if eps == 0 || d.P.NSmooth == 0 {
+	if eps == 0 || d.P.NSmooth == 0 || len(res) == 0 {
 		return
 	}
 	m := d.M

@@ -4,16 +4,16 @@ import "math"
 
 // Residual evaluates the full steady residual R(w) = Q(w) - D(w) into res,
 // refreshing pressures first. It is used by the multigrid forcing-function
-// construction and by tests; the RK driver below inlines the same pieces to
-// control when the dissipation is refrozen.
+// construction (once per level pair per cycle, so it runs on Disc-owned
+// scratch and allocates nothing) and by tests; the RK driver below inlines
+// the same pieces to control when the dissipation is refrozen.
 func (d *Disc) Residual(w []State, res []State) {
 	d.computePressures(w)
-	diss := make([]State, len(w))
 	d.Convective(w, res)
-	d.Dissipation(w, diss)
+	d.Dissipation(w, d.rdiss)
 	for i := range res {
 		for k := 0; k < NVar; k++ {
-			res[i][k] -= diss[i][k]
+			res[i][k] -= d.rdiss[i][k]
 		}
 	}
 }
@@ -49,6 +49,9 @@ func NewStepWorkspace(nv int) *StepWorkspace {
 func (d *Disc) Step(w []State, forcing []State, ws *StepWorkspace) float64 {
 	m := d.M
 	nv := m.NV()
+	if nv == 0 {
+		return 0
+	}
 	copy(ws.w0, w)
 
 	d.computePressures(w)

@@ -20,6 +20,12 @@ const (
 	NuVert     = 2
 	StageVert  = 16 // residual combine + solution update
 	XferVert   = 40 // 4-address interpolation, 5 variables
+
+	// StageVert split for per-phase reporting (StageVert = CombineVert +
+	// UpdateVert): forming res = conv - diss (+ forcing) vs the guarded
+	// RK solution update.
+	CombineVert = 6
+	UpdateVert  = 10
 )
 
 // Step returns the flops of one multistage time step on a grid with nv

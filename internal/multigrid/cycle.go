@@ -2,9 +2,12 @@ package multigrid
 
 import (
 	"fmt"
+	"time"
 
 	"eul3d/internal/euler"
+	"eul3d/internal/flops"
 	"eul3d/internal/mesh"
+	"eul3d/internal/perf"
 )
 
 // Level holds the solver state for one grid of the multigrid sequence.
@@ -26,11 +29,29 @@ type Level struct {
 	Prolong  *TransferOp
 }
 
+// Instrumented phases of a multigrid cycle.
+const (
+	phSteps = iota
+	phResiduals
+	phTransfers
+	phCorrections
+	numPhases
+)
+
 // Solver drives FAS multigrid cycles over a sequence of non-nested grids,
 // finest first.
 type Solver struct {
 	Levels []*Level
 	Gamma  int // cycle index: 1 = V-cycle, 2 = W-cycle
+
+	// Instrumentation: wall clock per cycle phase plus the analytic flop
+	// counts of internal/flops, precomputed per level in New.
+	acc        *perf.Accum
+	stepFl     []int64 // one time step on level l
+	residFl    []int64 // one residual evaluation on level l
+	restrictFl []int64 // down-transfer around the l/l+1 pair
+	prolongFl  []int64 // up-transfer around the l/l+1 pair
+	corrFl     []int64 // correction smoothing + update on level l
 }
 
 // New builds a multigrid solver over meshes (finest first) with the given
@@ -69,8 +90,39 @@ func New(meshes []*mesh.Mesh, p euler.Params, gamma int) (*Solver, error) {
 		}
 		s.Levels = append(s.Levels, lev)
 	}
+	s.acc = perf.NewAccum("steps", "residuals", "transfers", "corrections")
+	n := len(s.Levels)
+	s.stepFl = make([]int64, n)
+	s.residFl = make([]int64, n)
+	s.restrictFl = make([]int64, n)
+	s.prolongFl = make([]int64, n)
+	s.corrFl = make([]int64, n)
+	for l, lev := range s.Levels {
+		m := lev.Disc.M
+		nv, ne, nbf := int64(m.NV()), int64(m.NE()), int64(len(m.BFaces))
+		s.stepFl[l] = flops.Step(nv, ne, nbf, len(p.Stages), euler.DissipStages, p.NSmooth)
+		s.residFl[l] = flops.Residual(nv, ne, nbf)
+		s.corrFl[l] = int64(p.NSmooth)*(ne*flops.SmoothEdge+nv*flops.SmoothVert) + nv*flops.UpdateVert
+		if l > 0 {
+			nvFine := int64(meshes[l-1].NV())
+			s.restrictFl[l-1] = (nv + nvFine) * flops.XferVert // variables down + residual scatter
+			s.prolongFl[l-1] = nvFine * flops.XferVert         // correction up
+		}
+	}
 	s.InitUniform()
 	return s, nil
+}
+
+// Stats snapshots the per-phase wall clock and analytic flop counts
+// accumulated over all cycles so far.
+func (s *Solver) Stats() perf.Stats { return s.acc.Stats() }
+
+// tick charges the time since *t to phase ph with fl analytic flops and
+// advances *t.
+func (s *Solver) tick(ph int, fl int64, t *time.Time) {
+	now := time.Now()
+	s.acc.Add(ph, now.Sub(*t), fl)
+	*t = now
 }
 
 // InitUniform sets every level to the freestream state.
@@ -94,7 +146,9 @@ func (s *Solver) Cycle() float64 {
 // recurses gamma times, and interpolates the coarse correction back.
 func (s *Solver) cycle(l int) float64 {
 	lev := s.Levels[l]
+	t := time.Now()
 	norm := lev.Disc.Step(lev.W, lev.Forcing, lev.WS)
+	s.tick(phSteps, s.stepFl[l], &t)
 
 	if l == len(s.Levels)-1 {
 		return norm
@@ -111,6 +165,7 @@ func (s *Solver) cycle(l int) float64 {
 			}
 		}
 	}
+	s.tick(phResiduals, s.residFl[l], &t)
 
 	// Transfer flow variables (interpolation) and residuals (conservative
 	// transpose scatter) to the coarse grid. Interpolated conserved
@@ -123,6 +178,7 @@ func (s *Solver) cycle(l int) float64 {
 	}
 	copy(next.WSaved, next.W)
 	next.Prolong.ScatterTranspose(lev.Res, next.Forcing) // next.Forcing := R'
+	s.tick(phTransfers, s.restrictFl[l], &t)
 
 	// Forcing P = R' - R(w').
 	next.Disc.Residual(next.W, next.Res)
@@ -131,6 +187,7 @@ func (s *Solver) cycle(l int) float64 {
 			next.Forcing[i][k] -= next.Res[i][k]
 		}
 	}
+	s.tick(phResiduals, s.residFl[l+1], &t)
 
 	// Coarse-grid visits: gamma = 1 gives a V-cycle, 2 a W-cycle.
 	visits := s.Gamma
@@ -138,8 +195,9 @@ func (s *Solver) cycle(l int) float64 {
 		visits = 1 // revisiting the coarsest grid twice in a row is idle
 	}
 	for v := 0; v < visits; v++ {
-		s.cycle(l + 1)
+		s.cycle(l + 1) // recursion charges its own phases
 	}
+	t = time.Now()
 
 	// Prolong the coarse-grid correction back to this level.
 	for i := range next.W {
@@ -148,6 +206,7 @@ func (s *Solver) cycle(l int) float64 {
 		}
 	}
 	next.Prolong.Interp(next.Res, lev.Corr)
+	s.tick(phTransfers, s.prolongFl[l], &t)
 	// Smooth the prolonged correction: interpolation across non-nested
 	// grids injects high-frequency noise that would otherwise undo the
 	// fine-grid smoothing (the implicit averaging operator doubles as the
@@ -164,6 +223,7 @@ func (s *Solver) cycle(l int) float64 {
 		}
 		lev.W[i] = cand
 	}
+	s.tick(phCorrections, s.corrFl[l], &t)
 	return norm
 }
 

@@ -1,0 +1,93 @@
+// Package perf is the thin instrumentation layer shared by the solver
+// drivers: per-phase wall-clock accumulation paired with the analytic flop
+// counts of internal/flops, so any solver can report a computational rate
+// the same way the paper did (counted operations / measured seconds).
+// Accumulation is allocation-free; building a Stats snapshot allocates and
+// is meant for end-of-run reporting.
+package perf
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase is one instrumented section of a solver: its cumulative wall-clock
+// time and the analytic flops attributed to it.
+type Phase struct {
+	Name    string
+	Seconds float64
+	Flops   int64
+}
+
+// Mflops returns the phase's computational rate in MFlops (0 when no time
+// has been accumulated).
+func (p Phase) Mflops() float64 {
+	if p.Seconds <= 0 {
+		return 0
+	}
+	return float64(p.Flops) / p.Seconds / 1e6
+}
+
+// Stats is a snapshot of a solver's per-phase timings.
+type Stats struct {
+	Phases []Phase
+}
+
+// Total returns the sum over all phases.
+func (s Stats) Total() Phase {
+	t := Phase{Name: "total"}
+	for _, p := range s.Phases {
+		t.Seconds += p.Seconds
+		t.Flops += p.Flops
+	}
+	return t
+}
+
+// String renders the phases as an aligned table with a total row.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %10s %12s %9s\n", "phase", "seconds", "Mflop", "Mflops")
+	row := func(p Phase) {
+		fmt.Fprintf(&b, "%-14s %10.3f %12.1f %9.0f\n",
+			p.Name, p.Seconds, float64(p.Flops)/1e6, p.Mflops())
+	}
+	for _, p := range s.Phases {
+		row(p)
+	}
+	row(s.Total())
+	return b.String()
+}
+
+// Accum accumulates per-phase durations and flop counts without
+// allocating. Phases are identified by the index of their name in the
+// NewAccum argument list.
+type Accum struct {
+	names []string
+	ns    []int64
+	flops []int64
+}
+
+// NewAccum builds an accumulator with one slot per phase name.
+func NewAccum(names ...string) *Accum {
+	return &Accum{
+		names: names,
+		ns:    make([]int64, len(names)),
+		flops: make([]int64, len(names)),
+	}
+}
+
+// Add charges duration d and the given flop count to a phase.
+func (a *Accum) Add(phase int, d time.Duration, flops int64) {
+	a.ns[phase] += int64(d)
+	a.flops[phase] += flops
+}
+
+// Stats snapshots the accumulator.
+func (a *Accum) Stats() Stats {
+	st := Stats{Phases: make([]Phase, len(a.names))}
+	for i, n := range a.names {
+		st.Phases[i] = Phase{Name: n, Seconds: float64(a.ns[i]) / 1e9, Flops: a.flops[i]}
+	}
+	return st
+}

@@ -1,0 +1,37 @@
+package smsolver
+
+import (
+	"fmt"
+	"testing"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/meshgen"
+)
+
+// BenchmarkStep measures one full RK time step of the pool engine per
+// worker count. With the persistent pool every iteration should report
+// 0 allocs/op; `make bench` runs cmd/benchsm for the JSON artifact.
+func BenchmarkStep(b *testing.B) {
+	m, err := meshgen.Channel(meshgen.DefaultChannel(24, 12, 8, 17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := euler.DefaultParams(0.675, 0)
+	for _, nw := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", nw), func(b *testing.B) {
+			s, err := New(m, p, nw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			w := make([]euler.State, m.NV())
+			s.InitUniform(w)
+			s.Step(w, nil) // warm the worker stacks
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Step(w, nil)
+			}
+		})
+	}
+}

@@ -9,21 +9,71 @@
 // Against the sequential solver — which accumulates in raw edge order —
 // results agree to roundoff, exactly as on the original machine, where the
 // vectorized/autotasked code also reordered the accumulations.
+//
+// Execution uses a persistent worker pool (see pool.go): the workers are
+// spawned once in New and parked between parallel regions, the per-color
+// chunk tables are prebuilt, adjacent zero/copy sweeps are fused into the
+// neighbouring vertex kernels, and all per-step scratch is solver-owned,
+// so Step performs zero heap allocations. Close releases the workers; a
+// Solver dropped without Close is cleaned up by the garbage collector.
 package smsolver
 
 import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
+	"time"
 
 	"eul3d/internal/color"
 	"eul3d/internal/euler"
+	"eul3d/internal/flops"
 	"eul3d/internal/mesh"
+	"eul3d/internal/perf"
 )
 
-// Solver executes the five-stage scheme with colored, goroutine-parallel
-// loops.
+// taskKind names one parallel region of the time step; exec dispatches on
+// it so that forking never builds a closure.
+type taskKind uint8
+
+const (
+	tInit          taskKind = iota // w0 snapshot + pressures + lam reset (fused)
+	tLamEdges                      // colored: edge spectral radii
+	tLamFaces                      // colored: boundary-face spectral radii
+	tDtZero                        // local time steps + stage-0 accumulator zeroing (fused)
+	tConvEdges                     // colored: convective fluxes
+	tConvFaces                     // colored: boundary closure
+	tDiss1                         // colored: Laplacian + sensor sums
+	tNu                            // sensor sums -> shock switch
+	tDiss2                         // colored: blended dissipative flux
+	tCombine                       // res = conv - diss (+ forcing)
+	tNorm                          // block partial sums of the residual norm
+	tSmoothStart                   // rhs copy + first-sweep zeroing (fused)
+	tSmoothAccum                   // colored: Jacobi neighbour gather
+	tSmoothCombine                 // Jacobi combine + next-sweep zeroing (fused)
+	tCopyRes                       // copy smoothed result back (odd sweep counts)
+	tUpdate                        // RK update (final stage)
+	tUpdateNext                    // RK update + next-stage pressures + zeroing (fused)
+)
+
+// Instrumented phases of one time step.
+const (
+	phTimestep = iota // pressures, spectral radii, local time steps
+	phConvective
+	phDissipation
+	phResidual // residual combine + norm reduction
+	phSmoothing
+	phUpdate
+	nPhases
+)
+
+var phaseNames = [nPhases]string{"timestep", "convective", "dissipation", "residual", "smoothing", "update"}
+
+// normBlock is the fixed reduction block of residualNorm; partials are
+// combined in block order so the rounded norm is worker-count independent.
+const normBlock = 4096
+
+// Solver executes the five-stage scheme with colored loops dispatched to a
+// persistent worker pool.
 type Solver struct {
 	D        *euler.Disc
 	NWorkers int
@@ -32,10 +82,45 @@ type Solver struct {
 	faceColors *color.Coloring
 
 	w0, conv, diss, res []euler.State
+	normPartial         []float64
+
+	// Prebuilt chunk tables (computed once in New): per-worker vertex and
+	// norm-block ranges, and per-color per-worker edge/face ranges as
+	// absolute offsets into the coloring's Order permutation.
+	vertSpans  []span
+	vertActive int
+	normSpans  []span
+	normActive int
+	edgeSpans  [][]span
+	edgeActive []int
+	faceSpans  [][]span
+	faceActive []int
+
+	pool   *pool
+	execFn func(int) // s.exec, bound once so fork never allocates
+
+	// Job descriptor for the current parallel region, published before the
+	// fork and read by the workers (the fork/join barrier orders both
+	// directions).
+	job       taskKind
+	group     int           // color group for colored tasks
+	alpha     float64       // RK stage coefficient
+	eps       float64       // residual-averaging coefficient
+	zeroDiss  bool          // tDtZero/tUpdateNext: also zero dissipation arrays
+	zeroCur   bool          // tSmoothCombine: also zero the next sweep's target
+	w         []euler.State // solution being advanced
+	forcing   []euler.State
+	cur, next []euler.State // residual-averaging ping-pong
+
+	// Instrumentation: per-phase wall clock plus analytic flop charges.
+	acc                                             *perf.Accum
+	flTimestep, flConv, flDiss, flCombine, flSmooth int64
+	flUpdate, flUpdateNext                          int64
 }
 
 // New builds a parallel solver over mesh m. nworkers <= 0 selects
-// GOMAXPROCS.
+// GOMAXPROCS. The worker goroutines persist until Close (or until the
+// Solver is garbage-collected).
 func New(m *mesh.Mesh, p euler.Params, nworkers int) (*Solver, error) {
 	if nworkers <= 0 {
 		nworkers = runtime.GOMAXPROCS(0)
@@ -53,16 +138,72 @@ func New(m *mesh.Mesh, p euler.Params, nworkers int) (*Solver, error) {
 		return nil, fmt.Errorf("smsolver: face coloring: %w", err)
 	}
 	nv := m.NV()
-	return &Solver{
-		D:          euler.NewDisc(m, p),
-		NWorkers:   nworkers,
-		edgeColors: ec,
-		faceColors: fc,
-		w0:         make([]euler.State, nv),
-		conv:       make([]euler.State, nv),
-		diss:       make([]euler.State, nv),
-		res:        make([]euler.State, nv),
-	}, nil
+	nb := (nv + normBlock - 1) / normBlock
+	s := &Solver{
+		D:           euler.NewDisc(m, p),
+		NWorkers:    nworkers,
+		edgeColors:  ec,
+		faceColors:  fc,
+		w0:          make([]euler.State, nv),
+		conv:        make([]euler.State, nv),
+		diss:        make([]euler.State, nv),
+		res:         make([]euler.State, nv),
+		normPartial: make([]float64, nb),
+		acc:         perf.NewAccum(phaseNames[:]...),
+	}
+	s.vertSpans, s.vertActive = buildSpans(nv, nworkers)
+	s.normSpans, s.normActive = buildSpans(nb, nworkers)
+	s.edgeSpans, s.edgeActive = colorSpans(ec, nworkers)
+	s.faceSpans, s.faceActive = colorSpans(fc, nworkers)
+
+	ne, nbf := int64(m.NE()), int64(len(m.BFaces))
+	nv64 := int64(nv)
+	s.flTimestep = nv64*flops.PresVert + ne*flops.DtEdge + nbf*flops.DtBFace + nv64*flops.DtVertex
+	s.flConv = ne*flops.ConvEdge + nbf*flops.ConvBFace
+	s.flDiss = ne*(flops.Diss1Edge+flops.Diss2Edge) + nv64*flops.NuVert
+	s.flCombine = nv64 * flops.CombineVert
+	s.flSmooth = int64(p.NSmooth) * (ne*flops.SmoothEdge + nv64*flops.SmoothVert)
+	s.flUpdate = nv64 * flops.UpdateVert
+	s.flUpdateNext = nv64 * (flops.UpdateVert + flops.PresVert)
+
+	s.pool = newPool(nworkers)
+	s.execFn = s.exec
+	// The workers reference only the pool (its fn slot is cleared between
+	// forks), so an abandoned Solver is collectable; shut its pool down
+	// when that happens.
+	runtime.AddCleanup(s, func(p *pool) { p.shutdown() }, s.pool)
+	return s, nil
+}
+
+// colorSpans prebuilds the per-color per-worker chunk table of a coloring:
+// absolute [lo,hi) offsets into c.Order, plus the per-color active worker
+// count.
+func colorSpans(c *color.Coloring, nw int) ([][]span, []int) {
+	nc := c.NumColors()
+	spans := make([][]span, nc)
+	active := make([]int, nc)
+	for g := 0; g < nc; g++ {
+		base := int(c.Start[g])
+		n := int(c.Start[g+1]) - base
+		sp, a := buildSpans(n, nw)
+		for w := range sp {
+			sp[w].lo += base
+			sp[w].hi += base
+		}
+		spans[g], active[g] = sp, a
+	}
+	return spans, active
+}
+
+// Close parks the engine permanently: the worker goroutines exit and the
+// Solver must not be stepped afterwards. Close is idempotent and optional —
+// the garbage collector releases the workers of an unreferenced Solver —
+// but deterministic teardown is kinder to tests and long-lived processes.
+func (s *Solver) Close() {
+	if s.pool != nil {
+		s.pool.shutdown()
+		s.pool = nil
+	}
 }
 
 // NumColors returns the edge and boundary-face group counts.
@@ -70,54 +211,112 @@ func (s *Solver) NumColors() (edges, faces int) {
 	return s.edgeColors.NumColors(), s.faceColors.NumColors()
 }
 
-// parallelFor runs fn over [0,n) split into s.NWorkers contiguous chunks.
-func (s *Solver) parallelFor(n int, fn func(lo, hi int)) {
-	nw := s.NWorkers
-	if nw > n {
-		nw = n
-	}
-	if nw <= 1 {
-		fn(0, n)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + nw - 1) / nw
-	for w := 0; w < nw; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			fn(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+// Stats returns the accumulated per-phase wall-clock timings with their
+// analytic flop charges (internal/flops), from which per-phase and total
+// MFlops rates follow.
+func (s *Solver) Stats() perf.Stats { return s.acc.Stats() }
+
+// fork publishes the job descriptor and runs one parallel region.
+func (s *Solver) fork(j taskKind, group, active int) {
+	s.job, s.group = j, group
+	s.pool.fork(s.execFn, active)
 }
 
-// coloredEdges runs kernel over every edge group, chunking each group
-// across the workers (the autotasked vector loop of Section 3.1).
-func (s *Solver) coloredEdges(kernel func(edges []int32)) {
-	for g := 0; g < s.edgeColors.NumColors(); g++ {
-		group := s.edgeColors.Group(g)
-		s.parallelFor(len(group), func(lo, hi int) {
-			kernel(group[lo:hi])
-		})
+// coloredEdges runs one colored task over every edge group (the autotasked
+// vector loop of Section 3.1), one barrier per color.
+func (s *Solver) coloredEdges(j taskKind) {
+	for g := range s.edgeActive {
+		s.fork(j, g, s.edgeActive[g])
 	}
 }
 
-// coloredFaces runs kernel over every boundary-face group.
-func (s *Solver) coloredFaces(kernel func(faces []int32)) {
-	for g := 0; g < s.faceColors.NumColors(); g++ {
-		group := s.faceColors.Group(g)
-		s.parallelFor(len(group), func(lo, hi int) {
-			kernel(group[lo:hi])
-		})
+// coloredFaces runs one colored task over every boundary-face group.
+func (s *Solver) coloredFaces(j taskKind) {
+	for g := range s.faceActive {
+		s.fork(j, g, s.faceActive[g])
+	}
+}
+
+// exec runs worker wk's chunk of the current parallel region. Every case
+// is a table lookup plus a kernel call on solver-owned state — no
+// closures, no allocation.
+func (s *Solver) exec(wk int) {
+	d := s.D
+	switch s.job {
+	case tInit:
+		sp := s.vertSpans[wk]
+		d.StepInitKernel(s.w, s.w0, sp.lo, sp.hi)
+	case tLamEdges:
+		sp := s.edgeSpans[s.group][wk]
+		d.LambdaEdgesKernel(s.w, d.Lam(), s.edgeColors.Order[sp.lo:sp.hi])
+	case tLamFaces:
+		sp := s.faceSpans[s.group][wk]
+		d.LambdaBFacesKernel(s.w, d.Lam(), s.faceColors.Order[sp.lo:sp.hi])
+	case tDtZero:
+		sp := s.vertSpans[wk]
+		d.DtRangeKernel(d.Lam(), sp.lo, sp.hi)
+		d.StageZeroKernel(s.conv, s.diss, s.zeroDiss, sp.lo, sp.hi)
+	case tConvEdges:
+		sp := s.edgeSpans[s.group][wk]
+		d.ConvectiveEdgesKernel(s.w, s.conv, s.edgeColors.Order[sp.lo:sp.hi])
+	case tConvFaces:
+		sp := s.faceSpans[s.group][wk]
+		d.BoundaryFluxKernel(s.w, s.conv, s.faceColors.Order[sp.lo:sp.hi])
+	case tDiss1:
+		sp := s.edgeSpans[s.group][wk]
+		d.DissPass1Kernel(s.w, d.Lapl(), d.Sensor(), d.Den(), s.edgeColors.Order[sp.lo:sp.hi])
+	case tNu:
+		sp := s.vertSpans[wk]
+		d.NuRangeKernel(d.Sensor(), d.Den(), sp.lo, sp.hi)
+	case tDiss2:
+		sp := s.edgeSpans[s.group][wk]
+		d.DissPass2Kernel(s.w, d.Lapl(), s.diss, d.Sensor(), s.edgeColors.Order[sp.lo:sp.hi])
+	case tCombine:
+		sp := s.vertSpans[wk]
+		d.CombineResidualKernel(s.res, s.conv, s.diss, s.forcing, sp.lo, sp.hi)
+	case tNorm:
+		sp := s.normSpans[wk]
+		nv := d.M.NV()
+		for b := sp.lo; b < sp.hi; b++ {
+			lo := b * normBlock
+			hi := lo + normBlock
+			if hi > nv {
+				hi = nv
+			}
+			sum := 0.0
+			for i := lo; i < hi; i++ {
+				r := s.res[i][0] / d.M.Vol[i]
+				sum += r * r
+			}
+			s.normPartial[b] = sum
+		}
+	case tSmoothStart:
+		sp := s.vertSpans[wk]
+		copy(d.RHSScratch()[sp.lo:sp.hi], s.res[sp.lo:sp.hi])
+		zero(s.next[sp.lo:sp.hi])
+	case tSmoothAccum:
+		sp := s.edgeSpans[s.group][wk]
+		d.SmoothAccumKernel(s.cur, s.next, s.edgeColors.Order[sp.lo:sp.hi])
+	case tSmoothCombine:
+		sp := s.vertSpans[wk]
+		d.SmoothCombineKernel(d.RHSScratch(), s.next, s.eps, sp.lo, sp.hi)
+		if s.zeroCur {
+			// cur has been fully gathered (barrier before this region) and
+			// becomes the next sweep's accumulation target: zero it here
+			// instead of in a sweep of its own.
+			zero(s.cur[sp.lo:sp.hi])
+		}
+	case tCopyRes:
+		sp := s.vertSpans[wk]
+		copy(s.res[sp.lo:sp.hi], s.cur[sp.lo:sp.hi])
+	case tUpdate:
+		sp := s.vertSpans[wk]
+		d.UpdateRangeKernel(s.w, s.w0, s.res, s.alpha, sp.lo, sp.hi)
+	case tUpdateNext:
+		sp := s.vertSpans[wk]
+		d.UpdateRangeKernel(s.w, s.w0, s.res, s.alpha, sp.lo, sp.hi)
+		d.PressureRangeKernel(s.w, sp.lo, sp.hi)
+		d.StageZeroKernel(s.conv, s.diss, s.zeroDiss, sp.lo, sp.hi)
 	}
 }
 
@@ -127,64 +326,74 @@ func zero(a []euler.State) {
 	}
 }
 
+// tick charges the wall clock since *t to a phase along with its analytic
+// flop count, and restarts the clock.
+func (s *Solver) tick(phase int, fl int64, t *time.Time) {
+	now := time.Now()
+	s.acc.Add(phase, now.Sub(*t), fl)
+	*t = now
+}
+
 // Step advances w by one multistage time step, identically to
-// euler.Disc.Step but with all loops colored and parallel. It returns the
-// first-stage residual norm.
+// euler.Disc.Step but with all loops colored and dispatched to the worker
+// pool. It returns the first-stage residual norm and performs no heap
+// allocations.
 func (s *Solver) Step(w []euler.State, forcing []euler.State) float64 {
 	d := s.D
-	nv := d.M.NV()
-	copy(s.w0, w)
+	if d.M.NV() == 0 {
+		return 0
+	}
+	s.w, s.forcing = w, forcing
+	t := time.Now()
 
-	s.parallelFor(nv, func(lo, hi int) { d.PressureRangeKernel(w, lo, hi) })
-
-	// Local time steps.
-	lam := d.Lam()
-	s.parallelFor(nv, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			lam[i] = 0
-		}
-	})
-	s.coloredEdges(func(e []int32) { d.LambdaEdgesKernel(w, lam, e) })
-	s.coloredFaces(func(f []int32) { d.LambdaBFacesKernel(w, lam, f) })
-	s.parallelFor(nv, func(lo, hi int) { d.DtRangeKernel(lam, lo, hi) })
+	// Pressures, spectral radii, local time steps; the trailing fused sweep
+	// also zeroes the stage-0 accumulators.
+	s.fork(tInit, 0, s.vertActive)
+	s.coloredEdges(tLamEdges)
+	s.coloredFaces(tLamFaces)
+	s.zeroDiss = euler.DissipStages > 0
+	s.fork(tDtZero, 0, s.vertActive)
+	s.tick(phTimestep, s.flTimestep, &t)
 
 	norm := 0.0
+	nstages := len(d.P.Stages)
 	for q, alpha := range d.P.Stages {
-		if q > 0 {
-			s.parallelFor(nv, func(lo, hi int) { d.PressureRangeKernel(w, lo, hi) })
-		}
-		// Convective operator.
-		s.parallelFor(nv, func(lo, hi int) { zero(s.conv[lo:hi]) })
-		s.coloredEdges(func(e []int32) { d.ConvectiveEdgesKernel(w, s.conv, e) })
-		s.coloredFaces(func(f []int32) { d.BoundaryFluxKernel(w, s.conv, f) })
+		// Convective operator (accumulators were zeroed by the previous
+		// stage's update sweep, or by tDtZero for stage 0).
+		s.coloredEdges(tConvEdges)
+		s.coloredFaces(tConvFaces)
+		s.tick(phConvective, s.flConv, &t)
 
 		// Dissipation on the first stages, frozen afterwards.
 		if q < euler.DissipStages {
-			lapl, num, den := d.Lapl(), d.Sensor(), d.Den()
-			s.parallelFor(nv, func(lo, hi int) {
-				zero(lapl[lo:hi])
-				for i := lo; i < hi; i++ {
-					num[i] = 0
-					den[i] = 0
-				}
-			})
-			s.coloredEdges(func(e []int32) { d.DissPass1Kernel(w, lapl, num, den, e) })
-			s.parallelFor(nv, func(lo, hi int) { d.NuRangeKernel(num, den, lo, hi) })
-			s.parallelFor(nv, func(lo, hi int) { zero(s.diss[lo:hi]) })
-			s.coloredEdges(func(e []int32) { d.DissPass2Kernel(w, lapl, s.diss, num, e) })
+			s.coloredEdges(tDiss1)
+			s.fork(tNu, 0, s.vertActive)
+			s.coloredEdges(tDiss2)
+			s.tick(phDissipation, s.flDiss, &t)
 		}
 
-		s.parallelFor(nv, func(lo, hi int) {
-			d.CombineResidualKernel(s.res, s.conv, s.diss, forcing, lo, hi)
-		})
+		s.fork(tCombine, 0, s.vertActive)
 		if q == 0 {
 			norm = s.residualNorm()
 		}
-		s.smooth(s.res)
-		s.parallelFor(nv, func(lo, hi int) {
-			d.UpdateRangeKernel(w, s.w0, s.res, alpha, lo, hi)
-		})
+		s.tick(phResidual, s.flCombine, &t)
+
+		s.smooth()
+		s.tick(phSmoothing, s.flSmooth, &t)
+
+		s.alpha = alpha
+		if q == nstages-1 {
+			s.fork(tUpdate, 0, s.vertActive)
+			s.tick(phUpdate, s.flUpdate, &t)
+		} else {
+			// Fused stage boundary: RK update, next stage's pressures, and
+			// next stage's accumulator zeroing in one sweep.
+			s.zeroDiss = q+1 < euler.DissipStages
+			s.fork(tUpdateNext, 0, s.vertActive)
+			s.tick(phUpdate, s.flUpdateNext, &t)
+		}
 	}
+	s.w, s.forcing = nil, nil
 	return norm
 }
 
@@ -192,54 +401,34 @@ func (s *Solver) Step(w []euler.State, forcing []euler.State) float64 {
 // uses fixed-size blocks combined in block order, so the rounded result is
 // independent of the worker count.
 func (s *Solver) residualNorm() float64 {
-	const block = 4096
-	nv := s.D.M.NV()
-	nb := (nv + block - 1) / block
-	partial := make([]float64, nb)
-	s.parallelFor(nb, func(blo, bhi int) {
-		for b := blo; b < bhi; b++ {
-			lo := b * block
-			hi := lo + block
-			if hi > nv {
-				hi = nv
-			}
-			sum := 0.0
-			for i := lo; i < hi; i++ {
-				r := s.res[i][0] / s.D.M.Vol[i]
-				sum += r * r
-			}
-			partial[b] = sum
-		}
-	})
+	s.fork(tNorm, 0, s.normActive)
 	sum := 0.0
-	for _, p := range partial {
+	for _, p := range s.normPartial {
 		sum += p
 	}
-	return math.Sqrt(sum / float64(nv))
+	return math.Sqrt(sum / float64(s.D.M.NV()))
 }
 
 // smooth applies the implicit residual averaging with colored parallel
-// sweeps.
-func (s *Solver) smooth(res []euler.State) {
+// sweeps on s.res. The right-hand-side copy, the first sweep's zeroing and
+// each following sweep's zeroing ride along on neighbouring vertex sweeps.
+func (s *Solver) smooth() {
 	d := s.D
 	eps := d.P.EpsSmooth
 	if eps == 0 || d.P.NSmooth == 0 {
 		return
 	}
-	nv := d.M.NV()
-	rhs := d.RHSScratch()
-	copy(rhs, res)
-	cur, next := res, d.SmoothScratch()
+	s.eps = eps
+	s.cur, s.next = s.res, d.SmoothScratch()
+	s.fork(tSmoothStart, 0, s.vertActive)
 	for sweep := 0; sweep < d.P.NSmooth; sweep++ {
-		s.parallelFor(nv, func(lo, hi int) { zero(next[lo:hi]) })
-		cc := cur
-		nn := next
-		s.coloredEdges(func(e []int32) { d.SmoothAccumKernel(cc, nn, e) })
-		s.parallelFor(nv, func(lo, hi int) { d.SmoothCombineKernel(rhs, nn, eps, lo, hi) })
-		cur, next = next, cur
+		s.coloredEdges(tSmoothAccum)
+		s.zeroCur = sweep+1 < d.P.NSmooth
+		s.fork(tSmoothCombine, 0, s.vertActive)
+		s.cur, s.next = s.next, s.cur
 	}
-	if &cur[0] != &res[0] {
-		copy(res, cur)
+	if &s.cur[0] != &s.res[0] {
+		s.fork(tCopyRes, 0, s.vertActive)
 	}
 }
 

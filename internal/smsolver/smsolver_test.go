@@ -2,6 +2,7 @@ package smsolver
 
 import (
 	"math"
+	"runtime"
 	"testing"
 
 	"eul3d/internal/euler"
@@ -24,11 +25,12 @@ func TestBitwiseIdenticalAcrossWorkers(t *testing.T) {
 
 	var ref []euler.State
 	var refNorms []float64
-	for _, nw := range []int{1, 2, 3, 8} {
+	for _, nw := range []int{1, 2, 3, runtime.GOMAXPROCS(0), 8} {
 		s, err := New(m, p, nw)
 		if err != nil {
 			t.Fatal(err)
 		}
+		defer s.Close()
 		w := make([]euler.State, m.NV())
 		s.InitUniform(w)
 		var norms []float64
@@ -66,6 +68,7 @@ func TestMatchesSequentialToRoundoff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer par.Close()
 	wpar := make([]euler.State, m.NV())
 	par.InitUniform(wpar)
 
@@ -100,6 +103,7 @@ func TestFreestreamPreserved(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	w := make([]euler.State, m.NV())
 	s.InitUniform(w)
 	if norm := s.Step(w, nil); norm > 1e-11 {
@@ -120,6 +124,7 @@ func TestNumColorsReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	ec, fc := s.NumColors()
 	// The paper: "the typical number of groups is not high, say 20 to 30".
 	if ec < 10 || ec > 64 {
@@ -142,9 +147,127 @@ func TestSmoothingDisabledPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer s.Close()
 	w := make([]euler.State, m.NV())
 	s.InitUniform(w)
 	if norm := s.Step(w, nil); math.IsNaN(norm) {
 		t.Error("NaN norm with smoothing disabled")
+	}
+}
+
+// TestOddSmoothingSweeps exercises the copy-back path of the pooled
+// smoother (an odd sweep count leaves the result in the ping-pong scratch)
+// and checks it still matches the sequential solver to roundoff.
+func TestOddSmoothingSweeps(t *testing.T) {
+	m := testMesh(t)
+	p := euler.DefaultParams(0.675, 0)
+	p.NSmooth = 3
+
+	seq := euler.NewDisc(m, p)
+	wseq := make([]euler.State, m.NV())
+	seq.InitUniform(wseq)
+	ws := euler.NewStepWorkspace(m.NV())
+
+	par, err := New(m, p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer par.Close()
+	wpar := make([]euler.State, m.NV())
+	par.InitUniform(wpar)
+
+	for c := 0; c < 5; c++ {
+		ns := seq.Step(wseq, nil, ws)
+		np := par.Step(wpar, nil)
+		if rel := math.Abs(ns-np) / (1e-300 + ns); rel > 1e-10 {
+			t.Fatalf("cycle %d: norms diverge: %v vs %v", c, ns, np)
+		}
+	}
+}
+
+// TestStepZeroAllocs asserts the acceptance criterion of the pool engine:
+// a steady-state Step allocates nothing, with the fork/join barrier and
+// every chunk table prebuilt in New.
+func TestStepZeroAllocs(t *testing.T) {
+	m := testMesh(t)
+	s, err := New(m, euler.DefaultParams(0.675, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w := make([]euler.State, m.NV())
+	s.InitUniform(w)
+	forcing := make([]euler.State, m.NV())
+	s.Step(w, nil) // warm the worker stacks
+	if n := testing.AllocsPerRun(5, func() { s.Step(w, forcing) }); n != 0 {
+		t.Errorf("Step allocates %v times per call, want 0", n)
+	}
+}
+
+// TestEmptyMesh: a degenerate (zero-vertex) mesh must construct and step
+// without panicking — the smoother used to index &res[0] unconditionally.
+func TestEmptyMesh(t *testing.T) {
+	m := &mesh.Mesh{}
+	if err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(m, euler.DefaultParams(0.5, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var w []euler.State
+	s.InitUniform(w)
+	if norm := s.Step(w, nil); norm != 0 {
+		t.Errorf("empty-mesh step norm = %v, want 0", norm)
+	}
+}
+
+// TestCloseIdempotent: Close twice is fine, and a closed solver keeps its
+// already-computed state readable.
+func TestCloseIdempotent(t *testing.T) {
+	m := testMesh(t)
+	s, err := New(m, euler.DefaultParams(0.675, 0), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := make([]euler.State, m.NV())
+	s.InitUniform(w)
+	s.Step(w, nil)
+	s.Close()
+	s.Close()
+	if st := s.Stats(); st.Total().Seconds <= 0 {
+		t.Error("no wall clock accumulated before Close")
+	}
+}
+
+// TestStatsAccumulate: the instrumentation layer charges every phase with
+// time and analytic flops after a few steps.
+func TestStatsAccumulate(t *testing.T) {
+	m := testMesh(t)
+	s, err := New(m, euler.DefaultParams(0.675, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	w := make([]euler.State, m.NV())
+	s.InitUniform(w)
+	for c := 0; c < 3; c++ {
+		s.Step(w, nil)
+	}
+	st := s.Stats()
+	if len(st.Phases) == 0 {
+		t.Fatal("no phases reported")
+	}
+	for _, p := range st.Phases {
+		if p.Flops <= 0 {
+			t.Errorf("phase %s has no flops charged", p.Name)
+		}
+	}
+	if tot := st.Total(); tot.Seconds <= 0 || tot.Mflops() <= 0 {
+		t.Errorf("implausible total: %+v", tot)
+	}
+	if st.String() == "" {
+		t.Error("empty stats rendering")
 	}
 }

@@ -8,11 +8,15 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"eul3d/internal/euler"
+	"eul3d/internal/flops"
 	"eul3d/internal/mesh"
 	"eul3d/internal/meshio"
 	"eul3d/internal/multigrid"
+	"eul3d/internal/perf"
+	"eul3d/internal/smsolver"
 )
 
 // Options controls a steady-state run.
@@ -49,28 +53,67 @@ type Result struct {
 type stepper interface {
 	cycle() float64
 	solution() []euler.State
+	stats() perf.Stats
 }
 
 type singleStepper struct {
-	d  *euler.Disc
-	w  []euler.State
-	ws *euler.StepWorkspace
+	d   *euler.Disc
+	w   []euler.State
+	ws  *euler.StepWorkspace
+	acc *perf.Accum
+	fl  int64 // analytic flops of one time step
 }
 
-func (s *singleStepper) cycle() float64          { return s.d.Step(s.w, nil, s.ws) }
+func (s *singleStepper) cycle() float64 {
+	t := time.Now()
+	norm := s.d.Step(s.w, nil, s.ws)
+	s.acc.Add(0, time.Since(t), s.fl)
+	return norm
+}
 func (s *singleStepper) solution() []euler.State { return s.w }
+func (s *singleStepper) stats() perf.Stats       { return s.acc.Stats() }
 
 type mgStepper struct{ mg *multigrid.Solver }
 
 func (s *mgStepper) cycle() float64          { return s.mg.Cycle() }
 func (s *mgStepper) solution() []euler.State { return s.mg.Fine().W }
+func (s *mgStepper) stats() perf.Stats       { return s.mg.Stats() }
+
+type smStepper struct {
+	sm *smsolver.Solver
+	w  []euler.State
+}
+
+func (s *smStepper) cycle() float64          { return s.sm.Step(s.w, nil) }
+func (s *smStepper) solution() []euler.State { return s.w }
+func (s *smStepper) stats() perf.Stats       { return s.sm.Stats() }
 
 // NewSingleGrid builds a single-grid steady solver over m.
 func NewSingleGrid(m *mesh.Mesh, p euler.Params) *Steady {
 	d := euler.NewDisc(m, p)
 	w := make([]euler.State, m.NV())
 	d.InitUniform(w)
-	return &Steady{s: &singleStepper{d: d, w: w, ws: euler.NewStepWorkspace(m.NV())}, cfl: p.CFL}
+	fl := flops.Step(int64(m.NV()), int64(m.NE()), int64(len(m.BFaces)),
+		len(p.Stages), euler.DissipStages, p.NSmooth)
+	return &Steady{
+		s:   &singleStepper{d: d, w: w, ws: euler.NewStepWorkspace(m.NV()), acc: perf.NewAccum("step"), fl: fl},
+		cfl: p.CFL,
+	}
+}
+
+// NewSharedMemory builds a single-grid steady solver over m driven by the
+// persistent worker-pool engine with nworkers workers (0 = GOMAXPROCS).
+// Results are bitwise identical to NewSingleGrid up to roundoff-free
+// reassociation of the colored accumulation order; per-phase timings are
+// available from Stats. Call Close when done to park the pool.
+func NewSharedMemory(m *mesh.Mesh, p euler.Params, nworkers int) (*Steady, error) {
+	sm, err := smsolver.New(m, p, nworkers)
+	if err != nil {
+		return nil, err
+	}
+	w := make([]euler.State, m.NV())
+	sm.InitUniform(w)
+	return &Steady{s: &smStepper{sm: sm, w: w}, cfl: p.CFL, close: sm.Close}, nil
 }
 
 // NewMultigrid builds a multigrid steady solver over the mesh sequence
@@ -91,6 +134,21 @@ type Steady struct {
 	cfl        float64   // recorded in checkpoints
 	startCycle int       // first cycle index Run will execute (set by Restore)
 	prior      []float64 // residual history carried over from a checkpoint
+	close      func()    // releases stepper resources (worker pool); may be nil
+}
+
+// Stats returns the per-phase wall-clock and analytic-Mflops breakdown
+// accumulated over every cycle run so far.
+func (st *Steady) Stats() perf.Stats { return st.s.stats() }
+
+// Close releases any resources held by the underlying stepper (the
+// shared-memory worker pool). Safe to call multiple times and on solvers
+// that hold no resources.
+func (st *Steady) Close() {
+	if st.close != nil {
+		st.close()
+		st.close = nil
+	}
 }
 
 // Restore warm-starts the solver from a checkpoint so that a subsequent
