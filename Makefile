@@ -13,14 +13,19 @@ test:
 
 # Race-check the concurrency-bearing packages: the simulated interconnect,
 # the PARTI executors with self-healing receives, the MIMD solver with its
-# recovery orchestrator, and the shared-memory worker-pool engine.
+# recovery orchestrator, the shared-memory worker-pool engine (single-grid
+# and pooled multigrid, V- and W-cycles), and the transfer operators the
+# pooled multigrid scatters in parallel.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/...
 
+# Full gate: vet, all tests, race pass, and a short fuzz smoke on the
+# fault-spec parser (errors, never panics).
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/...
+	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 2s ./internal/simnet
 
 # Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,
 # which writes its results to BENCH_smsolver.json.

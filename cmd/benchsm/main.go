@@ -4,11 +4,14 @@
 // per time step, the analytic computational rate (counted flops / measured
 // seconds, the paper's Mflops methodology), the speedup relative to one
 // worker, and the per-step allocation count — which the pool engine keeps
-// at zero.
+// at zero. With -levels > 1 a second series benchmarks full FAS multigrid
+// cycles on the same worker pool (per-cycle wall clock, Mflops from the
+// analytic cycle flop count, speedup, allocations).
 //
 // Usage:
 //
 //	benchsm -nx 24 -ny 12 -nz 8 -steps 40 -workers 1,2,4,8 -out BENCH_smsolver.json
+//	benchsm -levels 3 -gamma 2 -cycles 20
 package main
 
 import (
@@ -37,6 +40,22 @@ type workerResult struct {
 	AllocsPerStep float64 `json:"allocs_per_step"`
 }
 
+type mgWorkerResult struct {
+	Workers        int     `json:"workers"`
+	NsPerCycle     int64   `json:"ns_per_cycle"`
+	Mflops         float64 `json:"mflops"`
+	SpeedupVs1     float64 `json:"speedup_vs_1"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
+type mgSeries struct {
+	Levels        int              `json:"levels"`
+	Gamma         int              `json:"gamma"`
+	Cycles        int              `json:"cycles"`
+	FlopsPerCycle int64            `json:"flops_per_cycle"`
+	Results       []mgWorkerResult `json:"results"`
+}
+
 type report struct {
 	Mesh struct {
 		NX, NY, NZ int   `json:"-"`
@@ -49,6 +68,7 @@ type report struct {
 	Steps        int            `json:"steps"`
 	FlopsPerStep int64          `json:"flops_per_step"`
 	Results      []workerResult `json:"results"`
+	Multigrid    *mgSeries      `json:"multigrid,omitempty"`
 }
 
 func main() {
@@ -60,11 +80,15 @@ func main() {
 		steps   = flag.Int("steps", 40, "timed steps per worker count")
 		warmup  = flag.Int("warmup", 5, "untimed warm-up steps per worker count")
 		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+		levels  = flag.Int("levels", 3, "multigrid levels for the pooled-multigrid series (<2 = skip)")
+		gamma   = flag.Int("gamma", 2, "multigrid cycle index (1 = V, 2 = W)")
+		cycles  = flag.Int("cycles", 20, "timed multigrid cycles per worker count")
 		out     = flag.String("out", "BENCH_smsolver.json", "output JSON path")
 	)
 	flag.Parse()
 
-	m, err := meshgen.Channel(meshgen.DefaultChannel(*nx, *ny, *nz, *seed))
+	spec := meshgen.DefaultChannel(*nx, *ny, *nz, *seed)
+	m, err := meshgen.Channel(spec)
 	if err != nil {
 		log.Fatalf("benchsm: %v", err)
 	}
@@ -82,12 +106,17 @@ func main() {
 		m.NV(), m.NE(), rep.GOMAXPROCS)
 	fmt.Printf("%8s %14s %10s %10s %8s\n", "workers", "ns/step", "Mflops", "speedup", "allocs")
 
-	var base float64
+	var workerList []int
 	for _, tok := range strings.Split(*workers, ",") {
 		nw, err := strconv.Atoi(strings.TrimSpace(tok))
 		if err != nil || nw < 1 {
 			log.Fatalf("benchsm: bad -workers entry %q", tok)
 		}
+		workerList = append(workerList, nw)
+	}
+
+	var base float64
+	for _, nw := range workerList {
 		s, err := smsolver.New(m, p, nw)
 		if err != nil {
 			log.Fatalf("benchsm: %v", err)
@@ -119,6 +148,50 @@ func main() {
 		rep.Results = append(rep.Results, r)
 		fmt.Printf("%8d %14d %10.0f %10.2f %8.0f\n",
 			r.Workers, r.NsPerStep, r.Mflops, r.SpeedupVs1, r.AllocsPerStep)
+	}
+
+	if *levels > 1 {
+		seq, err := meshgen.Sequence(spec, *levels)
+		if err != nil {
+			log.Fatalf("benchsm: %v", err)
+		}
+		ser := &mgSeries{Levels: *levels, Gamma: *gamma, Cycles: *cycles}
+		fmt.Printf("\npooled multigrid: %d levels, gamma=%d\n", *levels, *gamma)
+		fmt.Printf("%8s %14s %10s %10s %8s\n", "workers", "ns/cycle", "Mflops", "speedup", "allocs")
+		var mgBase float64
+		for _, nw := range workerList {
+			mg, err := smsolver.NewMultigrid(seq, p, *gamma, nw)
+			if err != nil {
+				log.Fatalf("benchsm: %v", err)
+			}
+			ser.FlopsPerCycle = mg.CycleFlops()
+			for i := 0; i < *warmup; i++ {
+				mg.Cycle()
+			}
+			t0 := time.Now()
+			for i := 0; i < *cycles; i++ {
+				mg.Cycle()
+			}
+			elapsed := time.Since(t0)
+			allocs := testing.AllocsPerRun(3, func() { mg.Cycle() })
+			mg.Close()
+
+			r := mgWorkerResult{
+				Workers:        nw,
+				NsPerCycle:     elapsed.Nanoseconds() / int64(*cycles),
+				AllocsPerCycle: allocs,
+			}
+			perCycle := elapsed.Seconds() / float64(*cycles)
+			r.Mflops = float64(ser.FlopsPerCycle) / perCycle / 1e6
+			if mgBase == 0 {
+				mgBase = perCycle
+			}
+			r.SpeedupVs1 = mgBase / perCycle
+			ser.Results = append(ser.Results, r)
+			fmt.Printf("%8d %14d %10.0f %10.2f %8.0f\n",
+				r.Workers, r.NsPerCycle, r.Mflops, r.SpeedupVs1, r.AllocsPerCycle)
+		}
+		rep.Multigrid = ser
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")

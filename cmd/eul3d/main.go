@@ -45,7 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 17, "mesh jitter seed")
 		logEvery = flag.Int("log-every", 25, "cycles between progress lines (0 = silent)")
 		contours = flag.Bool("contours", false, "print ASCII Mach contours of the final solution")
-		workers  = flag.Int("workers", 0, "with -strategy single: shared-memory worker-pool solver with this many workers (0 = sequential)")
+		workers  = flag.Int("workers", 0, "shared-memory worker-pool solver with this many workers (0 = sequential); works with every strategy")
 		stats    = flag.Bool("stats", false, "print the per-phase wall-clock / Mflops breakdown after the run")
 		meshPfx  = flag.String("mesh-prefix", "", "load meshes from <prefix>.L<level>.mesh (see cmd/meshgen) instead of generating")
 		saveSol  = flag.String("save-solution", "", "write the converged fine-grid solution to this file")
@@ -111,6 +111,7 @@ func main() {
 	}
 
 	var st *solver.Steady
+	var fineMesh *mesh.Mesh
 	switch *strategy {
 	case "single":
 		seq, err := loadSeq(1)
@@ -118,6 +119,7 @@ func main() {
 			log.Fatalf("eul3d: %v", err)
 		}
 		m := seq[0]
+		fineMesh = m
 		fmt.Printf("mesh: %d points, %d tetrahedra, %d edges\n", m.NV(), m.NT(), m.NE())
 		if *workers > 0 {
 			st, err = solver.NewSharedMemory(m, p, *workers)
@@ -130,13 +132,11 @@ func main() {
 			st = solver.NewSingleGrid(m, p)
 		}
 	case "v", "w":
-		if *workers > 0 {
-			log.Fatalf("eul3d: -workers requires -strategy single (multigrid runs the sequential scheme)")
-		}
 		seq, err := loadSeq(*levels)
 		if err != nil {
 			log.Fatalf("eul3d: %v", err)
 		}
+		fineMesh = seq[0]
 		for l, m := range seq {
 			fmt.Printf("level %d: %d points, %d tetrahedra, %d edges\n", l, m.NV(), m.NT(), m.NE())
 		}
@@ -144,19 +144,30 @@ func main() {
 		if *strategy == "w" {
 			gamma = 2
 		}
-		var err2 error
-		st, err2 = solver.NewMultigrid(seq, p, gamma)
-		if err2 != nil {
-			log.Fatalf("eul3d: %v", err2)
+		if *workers > 0 {
+			st, err = solver.NewSharedMemoryMultigrid(seq, p, gamma, *workers)
+			if err != nil {
+				log.Fatalf("eul3d: %v", err)
+			}
+			defer st.Close()
+			fmt.Printf("pooled multigrid: %d levels, %s-cycle, %d workers\n", *levels, *strategy, *workers)
+		} else {
+			st, err = solver.NewMultigrid(seq, p, gamma)
+			if err != nil {
+				log.Fatalf("eul3d: %v", err)
+			}
+			fmt.Printf("multigrid: %d levels, %s-cycle, %.2f work units per cycle, %.0f%% memory overhead\n",
+				*levels, *strategy, st.MG.WorkUnits(), 100*st.MG.MemoryOverhead())
 		}
-		fmt.Printf("multigrid: %d levels, %s-cycle, %.2f work units per cycle, %.0f%% memory overhead\n",
-			*levels, *strategy, st.MG.WorkUnits(), 100*st.MG.MemoryOverhead())
 	default:
 		log.Fatalf("eul3d: unknown strategy %q (want single, v or w)", *strategy)
 	}
 
 	if *fmg > 0 {
 		if st.MG == nil {
+			if *workers > 0 {
+				log.Fatalf("eul3d: -fmg is not supported by the pooled multigrid; drop -workers")
+			}
 			log.Fatalf("eul3d: -fmg requires a multigrid strategy")
 		}
 		st.MG.FMGInit(*fmg)
@@ -220,17 +231,6 @@ func main() {
 		fmt.Printf("solution written to %s\n", *saveSol)
 	}
 	if *saveVTK != "" {
-		var fineMesh *mesh.Mesh
-		if st.MG != nil {
-			fineMesh = st.MG.Fine().Disc.M
-		} else {
-			// Single grid: the solution indexes the generated/loaded mesh.
-			seq, err := loadSeq(1)
-			if err != nil {
-				log.Fatalf("eul3d: %v", err)
-			}
-			fineMesh = seq[0]
-		}
 		if err := meshio.SaveVTK(*saveVTK, fineMesh, p.Gas, res.FineSolution, "", nil); err != nil {
 			log.Fatalf("eul3d: %v", err)
 		}
@@ -242,7 +242,7 @@ func main() {
 		fmt.Println("\nMach contours on the mid-span plane:")
 		fmt.Print(f.ASCII())
 	} else if *contours {
-		fmt.Println("(-contours requires a multigrid strategy)")
+		fmt.Println("(-contours requires the sequential multigrid strategy)")
 	}
 }
 

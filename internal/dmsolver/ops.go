@@ -170,13 +170,11 @@ func (s *Solver) combineResProc(lev *Level, p int, withForcing bool) {
 	}
 }
 
+// normPartialProc sums this processor's share of the residual norm with
+// the engine-wide blocked reduction (euler.NormBlock), so that a one-proc
+// distributed solve reproduces the sequential norm bitwise.
 func (s *Solver) normPartialProc(lev *Level, p int) float64 {
-	sum := 0.0
-	for i := 0; i < lev.Dist.Count(p); i++ {
-		r := lev.Res[p][i][0] / lev.Vol[p][i]
-		sum += r * r
-	}
-	return sum
+	return euler.ResidualNormSq(lev.Res[p], lev.Vol[p], lev.Dist.Count(p))
 }
 
 func (s *Solver) smoothRHSProc(lev *Level, p int, arr [][]euler.State) {

@@ -77,12 +77,7 @@ func (d *Disc) Step(w []State, forcing []State, ws *StepWorkspace) float64 {
 			}
 		}
 		if q == 0 {
-			sum := 0.0
-			for i := 0; i < nv; i++ {
-				r := ws.res[i][0] / m.Vol[i]
-				sum += r * r
-			}
-			resNorm = math.Sqrt(sum / float64(nv))
+			resNorm = math.Sqrt(ResidualNormSq(ws.res, m.Vol, nv) / float64(nv))
 		}
 		d.SmoothResiduals(ws.res)
 		for i := 0; i < nv; i++ {
@@ -105,4 +100,31 @@ func (d *Disc) InitUniform(w []State) {
 	for i := range w {
 		w[i] = d.P.Freestream
 	}
+}
+
+// NormBlock is the fixed reduction block of the residual-norm sum. Every
+// solver engine — sequential, shared-memory pooled, distributed — sums
+// (res[i][0]/vol[i])^2 within NormBlock-sized index blocks and combines
+// the block partials in block order, so the rounded norm is identical
+// across engines and worker counts (the parallel engines hand whole
+// blocks to workers).
+const NormBlock = 4096
+
+// ResidualNormSq returns sum over i in [0,n) of (res[i][0]/vol[i])^2,
+// accumulated in fixed NormBlock-sized blocks combined in block order.
+func ResidualNormSq(res []State, vol []float64, n int) float64 {
+	sum := 0.0
+	for lo := 0; lo < n; lo += NormBlock {
+		hi := lo + NormBlock
+		if hi > n {
+			hi = n
+		}
+		b := 0.0
+		for i := lo; i < hi; i++ {
+			r := res[i][0] / vol[i]
+			b += r * r
+		}
+		sum += b
+	}
+	return sum
 }

@@ -1,0 +1,67 @@
+package flops
+
+import "testing"
+
+// The per-phase split of the stage cost must add up: res = conv - diss
+// combine plus the guarded RK update is exactly the stage vertex work.
+func TestStageVertSplit(t *testing.T) {
+	if CombineVert+UpdateVert != StageVert {
+		t.Fatalf("CombineVert (%d) + UpdateVert (%d) != StageVert (%d)",
+			CombineVert, UpdateVert, StageVert)
+	}
+}
+
+// Step against a hand count on a tiny grid: nv=3, ne=3, nbf=1 with a
+// 2-stage scheme, dissipation on 1 stage and one smoothing sweep.
+//
+//	convective   2 * (3*48 + 1*44)      = 376
+//	dissipation  1 * 3 * (24 + 66)      = 270
+//	time step    3*26 + 1*16 + 3*2      = 100
+//	smoothing    (1*2) * (3*10 + 3*12)  = 132
+//	pres+stage   2 * 3 * (12 + 16)      = 168
+//	sensor nu    1 * 3 * 2              =   6
+//	total                               = 1052
+func TestStepHandCount(t *testing.T) {
+	if got := Step(3, 3, 1, 2, 1, 1); got != 1052 {
+		t.Fatalf("Step(3,3,1,2,1,1) = %d, hand count 1052", got)
+	}
+	// Without smoothing the two Jacobi terms drop out.
+	if got := Step(3, 3, 1, 2, 1, 0); got != 1052-132 {
+		t.Fatalf("Step(3,3,1,2,1,0) = %d, hand count %d", got, 1052-132)
+	}
+}
+
+// Residual against a hand count on the same tiny grid:
+//
+//	convective   3*48 + 1*44       = 188
+//	dissipation  3 * (24 + 66)     = 270
+//	pres+nu      3 * (12 + 2)      =  42
+//	total                          = 500
+func TestResidualHandCount(t *testing.T) {
+	if got := Residual(3, 3, 1); got != 500 {
+		t.Fatalf("Residual(3,3,1) = %d, hand count 500", got)
+	}
+}
+
+// Transfer charges the three interpolation passes around one coarse visit:
+// variable restriction (coarse vertices), residual scatter and correction
+// prolongation (fine vertices each): 2*40 + 5*40 + 5*40 = 480.
+func TestTransferHandCount(t *testing.T) {
+	if got := Transfer(5, 2); got != 480 {
+		t.Fatalf("Transfer(5,2) = %d, hand count 480", got)
+	}
+}
+
+// Costs scale linearly in the mesh counts — doubling every element count
+// doubles the charge.
+func TestLinearScaling(t *testing.T) {
+	if got, want := Step(6, 6, 2, 2, 1, 1), 2*Step(3, 3, 1, 2, 1, 1); got != want {
+		t.Fatalf("Step at doubled counts = %d, want %d", got, want)
+	}
+	if got, want := Residual(6, 6, 2), 2*Residual(3, 3, 1); got != want {
+		t.Fatalf("Residual at doubled counts = %d, want %d", got, want)
+	}
+	if got, want := Transfer(10, 4), 2*Transfer(5, 2); got != want {
+		t.Fatalf("Transfer at doubled counts = %d, want %d", got, want)
+	}
+}

@@ -170,7 +170,15 @@ func BuildTransfer(target, source *mesh.Mesh) (*TransferOp, error) {
 // target vertex. Used to restrict flow variables to a coarse grid and to
 // prolong corrections to a fine grid.
 func (op *TransferOp) Interp(src, dst []euler.State) {
-	for v := range op.Addr {
+	op.InterpRange(src, dst, 0, len(op.Addr))
+}
+
+// InterpRange evaluates Interp for target vertices [lo,hi) only. Each
+// target vertex is written exactly once and reads are unrestricted, so
+// disjoint ranges can run concurrently and any chunking reproduces the
+// full Interp bitwise.
+func (op *TransferOp) InterpRange(src, dst []euler.State, lo, hi int) {
+	for v := lo; v < hi; v++ {
 		a, w := op.Addr[v], op.Wt[v]
 		var s euler.State
 		for k := 0; k < 4; k++ {
@@ -204,4 +212,80 @@ func (op *TransferOp) ScatterTranspose(src, dst []euler.State) {
 			}
 		}
 	}
+}
+
+// ScatterPlan is the destination-grouped form of ScatterTranspose: the
+// operator's 4*len(Addr) scatter entries regrouped by the destination
+// vertex they accumulate into — in effect a coloring of the transfer
+// entries on their destination address, stored as a CSR table with one
+// row per destination. Row d holds the entries in exactly the (v, k)
+// order the serial scatter visits them, so accumulating a row
+// sequentially reproduces the serial floating-point sum for that
+// destination bitwise, while distinct rows write distinct destinations
+// and may be processed concurrently: any chunking of [0, NDst) by rows
+// yields disjoint writes and a result bitwise identical to
+// ScatterTranspose.
+type ScatterPlan struct {
+	Start []int32   // row boundaries, len = ndst+1
+	Src   []int32   // source (transfer-target) vertex of each entry
+	Wt    []float64 // interpolation weight of each entry
+}
+
+// Plan builds the destination-grouped scatter table for op onto a
+// destination array of ndst vertices (the op's source-mesh vertex count).
+// Entries within a row keep the serial scatter's (v, k) visit order: the
+// counting sort below scans v ascending with k ascending inside, which is
+// precisely that order.
+func (op *TransferOp) Plan(ndst int) *ScatterPlan {
+	pl := &ScatterPlan{
+		Start: make([]int32, ndst+1),
+		Src:   make([]int32, 4*len(op.Addr)),
+		Wt:    make([]float64, 4*len(op.Addr)),
+	}
+	for v := range op.Addr {
+		for k := 0; k < 4; k++ {
+			pl.Start[op.Addr[v][k]+1]++
+		}
+	}
+	for d := 0; d < ndst; d++ {
+		pl.Start[d+1] += pl.Start[d]
+	}
+	fill := make([]int32, ndst)
+	for v := range op.Addr {
+		a, w := op.Addr[v], op.Wt[v]
+		for k := 0; k < 4; k++ {
+			d := a[k]
+			at := pl.Start[d] + fill[d]
+			pl.Src[at] = int32(v)
+			pl.Wt[at] = w[k]
+			fill[d]++
+		}
+	}
+	return pl
+}
+
+// NDst returns the number of destination rows.
+func (pl *ScatterPlan) NDst() int { return len(pl.Start) - 1 }
+
+// GatherRange accumulates destination rows [lo,hi): dst[d] is zeroed and
+// then summed over the row's entries in serial-scatter order. Writes are
+// confined to dst[lo:hi].
+func (pl *ScatterPlan) GatherRange(src, dst []euler.State, lo, hi int) {
+	for d := lo; d < hi; d++ {
+		var s euler.State
+		for e := pl.Start[d]; e < pl.Start[d+1]; e++ {
+			sv := src[pl.Src[e]]
+			f := pl.Wt[e]
+			for c := 0; c < euler.NVar; c++ {
+				s[c] += f * sv[c]
+			}
+		}
+		dst[d] = s
+	}
+}
+
+// Apply runs the full destination-grouped scatter; bitwise identical to
+// the originating op's ScatterTranspose.
+func (pl *ScatterPlan) Apply(src, dst []euler.State) {
+	pl.GatherRange(src, dst, 0, pl.NDst())
 }

@@ -1,0 +1,183 @@
+package multigrid
+
+import (
+	"math/rand"
+	"testing"
+
+	"eul3d/internal/euler"
+)
+
+// randomOp builds a TransferOp with nsrc target vertices whose addresses
+// point anywhere in [0, ndst) — including duplicate addresses within one
+// vertex, which real operators produce for points snapped to boundaries.
+func randomOp(rng *rand.Rand, nsrc, ndst int) *TransferOp {
+	op := &TransferOp{
+		Addr: make([][4]int32, nsrc),
+		Wt:   make([][4]float64, nsrc),
+	}
+	for v := range op.Addr {
+		sum := 0.0
+		for k := 0; k < 4; k++ {
+			op.Addr[v][k] = int32(rng.Intn(ndst))
+			w := rng.Float64()
+			op.Wt[v][k] = w
+			sum += w
+		}
+		for k := 0; k < 4; k++ {
+			op.Wt[v][k] /= sum
+		}
+	}
+	return op
+}
+
+func randomStates(rng *rand.Rand, n int) []euler.State {
+	w := make([]euler.State, n)
+	for i := range w {
+		for c := 0; c < euler.NVar; c++ {
+			w[i][c] = rng.NormFloat64()
+		}
+	}
+	return w
+}
+
+// randomSpans cuts [0,n) into a random partition of contiguous chunks.
+func randomSpans(rng *rand.Rand, n int) [][2]int {
+	var spans [][2]int
+	for lo := 0; lo < n; {
+		hi := lo + 1 + rng.Intn(n-lo)
+		spans = append(spans, [2]int{lo, hi})
+		lo = hi
+	}
+	return spans
+}
+
+// Property: the destination-grouped plan is a permutation of the
+// operator's 4*nsrc scatter entries, and each row keeps the serial
+// scatter's (v, k) visit order.
+func TestScatterPlanCoversEntriesInSerialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		nsrc, ndst := 1+rng.Intn(60), 1+rng.Intn(40)
+		op := randomOp(rng, nsrc, ndst)
+		pl := op.Plan(ndst)
+
+		if pl.NDst() != ndst {
+			t.Fatalf("trial %d: NDst = %d, want %d", trial, pl.NDst(), ndst)
+		}
+		if got, want := len(pl.Src), 4*nsrc; got != want || len(pl.Wt) != want {
+			t.Fatalf("trial %d: %d src / %d wt entries, want %d", trial, len(pl.Src), len(pl.Wt), want)
+		}
+
+		// Replay the serial scatter's visit order (v ascending, k inside)
+		// and demand each row of the plan equal its destination's
+		// subsequence exactly — order included.
+		next := make([]int32, ndst)
+		copy(next, pl.Start[:ndst])
+		for v := range op.Addr {
+			for k := 0; k < 4; k++ {
+				d := op.Addr[v][k]
+				at := next[d]
+				if at >= pl.Start[d+1] {
+					t.Fatalf("trial %d: row %d overflows at entry (%d,%d)", trial, d, v, k)
+				}
+				if pl.Src[at] != int32(v) || pl.Wt[at] != op.Wt[v][k] {
+					t.Fatalf("trial %d: row %d entry %d = (%d, %v), serial order wants (%d, %v)",
+						trial, d, at-pl.Start[d], pl.Src[at], pl.Wt[at], v, op.Wt[v][k])
+				}
+				next[d]++
+			}
+		}
+		for d := 0; d < ndst; d++ {
+			if next[d] != pl.Start[d+1] {
+				t.Fatalf("trial %d: row %d has %d extra entries", trial, d, pl.Start[d+1]-next[d])
+			}
+		}
+	}
+}
+
+// Property: accumulating the plan chunk-by-chunk over ANY partition of the
+// destination range reproduces the serial ScatterTranspose bitwise, and
+// each chunk writes only its own rows.
+func TestScatterPlanChunkedMatchesSerialBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const sentinel = 1e301
+	for trial := 0; trial < 50; trial++ {
+		nsrc, ndst := 1+rng.Intn(60), 1+rng.Intn(40)
+		op := randomOp(rng, nsrc, ndst)
+		pl := op.Plan(ndst)
+		src := randomStates(rng, nsrc)
+
+		want := make([]euler.State, ndst)
+		op.ScatterTranspose(src, want)
+
+		got := make([]euler.State, ndst)
+		for _, span := range randomSpans(rng, ndst) {
+			// Poison everything outside the chunk, run it, and check the
+			// poison survived: writes are confined to [lo,hi).
+			for i := range got {
+				if i < span[0] || i >= span[1] {
+					got[i] = euler.State{sentinel}
+				}
+			}
+			pl.GatherRange(src, got, span[0], span[1])
+			for i := range got {
+				outside := i < span[0] || i >= span[1]
+				if outside && got[i][0] != sentinel {
+					t.Fatalf("trial %d: chunk %v wrote row %d", trial, span, i)
+				}
+			}
+			// Clear the poison, keeping rows this and earlier chunks filled.
+			for i := range got {
+				if i < span[0] || i >= span[1] {
+					got[i] = euler.State{}
+				}
+			}
+		}
+		// Re-run all chunks onto the cleared array to assemble the full
+		// result, then compare bitwise against the serial scatter.
+		for _, span := range randomSpans(rng, ndst) {
+			pl.GatherRange(src, got, span[0], span[1])
+		}
+		for d := range want {
+			if got[d] != want[d] {
+				t.Fatalf("trial %d: row %d = %v, serial %v", trial, d, got[d], want[d])
+			}
+		}
+		// And the one-call form.
+		apply := make([]euler.State, ndst)
+		pl.Apply(src, apply)
+		for d := range want {
+			if apply[d] != want[d] {
+				t.Fatalf("trial %d: Apply row %d = %v, serial %v", trial, d, apply[d], want[d])
+			}
+		}
+	}
+}
+
+// Property: chunked InterpRange over any partition equals the full Interp
+// bitwise, with writes confined to each chunk.
+func TestInterpRangeChunkedMatchesInterpBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const sentinel = 1e301
+	for trial := 0; trial < 50; trial++ {
+		ntgt, nsrc := 1+rng.Intn(60), 1+rng.Intn(40)
+		op := randomOp(rng, ntgt, nsrc) // Addr indexes the interp source
+		src := randomStates(rng, nsrc)
+
+		want := make([]euler.State, ntgt)
+		op.Interp(src, want)
+
+		got := make([]euler.State, ntgt)
+		for i := range got {
+			got[i] = euler.State{sentinel}
+		}
+		for _, span := range randomSpans(rng, ntgt) {
+			op.InterpRange(src, got, span[0], span[1])
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("trial %d: vertex %d = %v, full Interp %v", trial, v, got[v], want[v])
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAccumAddAndStats(t *testing.T) {
+	a := NewAccum("conv", "diss")
+	a.Add(0, 250*time.Millisecond, 1_000_000)
+	a.Add(0, 250*time.Millisecond, 500_000)
+	a.Add(1, time.Second, 3_000_000)
+
+	st := a.Stats()
+	if len(st.Phases) != 2 {
+		t.Fatalf("expected 2 phases, got %d", len(st.Phases))
+	}
+	conv := st.Phases[0]
+	if conv.Name != "conv" || conv.Seconds != 0.5 || conv.Flops != 1_500_000 {
+		t.Fatalf("conv phase = %+v", conv)
+	}
+	// 1.5 Mflop in 0.5 s = 3 Mflops.
+	if conv.Mflops() != 3 {
+		t.Fatalf("conv Mflops = %v, want 3", conv.Mflops())
+	}
+	total := st.Total()
+	if total.Seconds != 1.5 || total.Flops != 4_500_000 {
+		t.Fatalf("total = %+v", total)
+	}
+	if total.Mflops() != 3 {
+		t.Fatalf("total Mflops = %v, want 3", total.Mflops())
+	}
+}
+
+// A phase that never ran must report rate 0, not divide by zero.
+func TestMflopsZeroSeconds(t *testing.T) {
+	if got := (Phase{Flops: 100}).Mflops(); got != 0 {
+		t.Fatalf("zero-time phase Mflops = %v, want 0", got)
+	}
+	if got := (Phase{Seconds: -1, Flops: 100}).Mflops(); got != 0 {
+		t.Fatalf("negative-time phase Mflops = %v, want 0", got)
+	}
+	if got := (NewAccum("idle").Stats().Phases[0]).Mflops(); got != 0 {
+		t.Fatalf("untouched accumulator phase Mflops = %v, want 0", got)
+	}
+}
+
+// Stats snapshots must not alias the accumulator: charging more work after
+// a snapshot leaves the snapshot unchanged.
+func TestStatsSnapshotIndependence(t *testing.T) {
+	a := NewAccum("step")
+	a.Add(0, time.Second, 10)
+	st := a.Stats()
+	a.Add(0, time.Second, 90)
+	if st.Phases[0].Flops != 10 {
+		t.Fatalf("snapshot mutated: %+v", st.Phases[0])
+	}
+	if got := a.Stats().Phases[0].Flops; got != 100 {
+		t.Fatalf("accumulator lost an Add: %d flops", got)
+	}
+}
+
+// Add is on the per-color hot path of the pooled engines and must not
+// allocate.
+func TestAddZeroAllocs(t *testing.T) {
+	a := NewAccum("hot")
+	if allocs := testing.AllocsPerRun(100, func() {
+		a.Add(0, time.Microsecond, 42)
+	}); allocs != 0 {
+		t.Fatalf("Add allocates %.1f times per call", allocs)
+	}
+}
+
+func TestStringTable(t *testing.T) {
+	a := NewAccum("conv", "diss")
+	a.Add(0, time.Second, 2_000_000)
+	s := a.Stats().String()
+	for _, want := range []string{"phase", "conv", "diss", "total"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("stats table missing %q:\n%s", want, s)
+		}
+	}
+	if lines := strings.Count(s, "\n"); lines != 4 {
+		t.Fatalf("expected header + 2 phases + total = 4 lines, got %d:\n%s", lines, s)
+	}
+}

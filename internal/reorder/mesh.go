@@ -3,6 +3,7 @@ package reorder
 import (
 	"fmt"
 
+	"eul3d/internal/color"
 	"eul3d/internal/geom"
 	"eul3d/internal/graph"
 	"eul3d/internal/mesh"
@@ -51,4 +52,47 @@ func RCMMesh(m *mesh.Mesh) (*mesh.Mesh, error) {
 		return nil, err
 	}
 	return ApplyToMesh(m, CuthillMcKee(g, true))
+}
+
+// ColorCanonical returns a copy of m whose edge list (with its dual
+// normals) and boundary-face list are permuted into color-group order,
+// together with the identity-run colorings aligned with the new index
+// order. On the canonical mesh a sequential loop over the edges visits
+// each vertex's edges in exactly the color order the pooled shared-memory
+// engine uses, so the colored-parallel solver built with these colorings
+// (smsolver.NewColored / NewMultigridColored) is *bitwise identical* to
+// the sequential solver, not merely roundoff-equal — the basis of the
+// cross-engine conformance suite. Geometry, topology and control volumes
+// are untouched (X, Tets, Vol are shared with m); only the iteration
+// order of the element lists changes, which is solution-neutral for the
+// sequential solver up to its own accumulation roundoff.
+func ColorCanonical(m *mesh.Mesh) (*mesh.Mesh, *color.Coloring, *color.Coloring, error) {
+	ec, err := color.Greedy(m.NV(), m.Edges)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reorder: edge coloring: %w", err)
+	}
+	faces := make([][3]int32, len(m.BFaces))
+	for i := range m.BFaces {
+		faces[i] = m.BFaces[i].V
+	}
+	fc, err := color.GreedyFaces(m.NV(), faces)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("reorder: face coloring: %w", err)
+	}
+	out := &mesh.Mesh{
+		X:        m.X,
+		Tets:     m.Tets,
+		Vol:      m.Vol,
+		Edges:    make([][2]int32, len(m.Edges)),
+		EdgeNorm: make([]geom.Vec3, len(m.EdgeNorm)),
+		BFaces:   make([]mesh.BFace, len(m.BFaces)),
+	}
+	for at, ei := range ec.Order {
+		out.Edges[at] = m.Edges[ei]
+		out.EdgeNorm[at] = m.EdgeNorm[ei]
+	}
+	for at, fi := range fc.Order {
+		out.BFaces[at] = m.BFaces[fi]
+	}
+	return out, color.IdentityRuns(ec.Start), color.IdentityRuns(fc.Start), nil
 }

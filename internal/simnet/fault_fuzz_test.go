@@ -1,0 +1,56 @@
+package simnet
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseFaultSpec drives the user-facing fault-spec parser (the -faults
+// CLI flag) with arbitrary input: malformed specs must be rejected with an
+// error, never a panic, and accepted specs must yield a usable plan. Wired
+// into `make verify` as a short -fuzztime smoke.
+func FuzzParseFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7,drop=2,crash=3@120",
+		"seed=7,drop=2,dup=1,corrupt=1,delay=1,reorder=1,crash=2@40",
+		"maxseq=100",
+		"drop=-1",
+		"crash=3",
+		"crash=@",
+		"crash=a@b",
+		"bogus=1",
+		"drop",
+		"=,=,=",
+		"drop=9999999999999999999999",
+		" seed = 1 ",
+		"seed=1,,drop=0,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		plan, err := ParseFaultSpec(spec)
+		if err != nil {
+			if plan != nil {
+				t.Fatalf("spec %q: non-nil plan alongside error %v", spec, err)
+			}
+			if !strings.HasPrefix(err.Error(), "simnet: ") {
+				t.Fatalf("spec %q: error %q not from this package", spec, err)
+			}
+			return
+		}
+		if plan == nil {
+			t.Fatalf("spec %q: nil plan without error", spec)
+		}
+		// A freshly parsed plan has fired nothing and everything scheduled
+		// is still pending.
+		st := plan.Stats()
+		if st.Drops != 0 || st.Duplicates != 0 || st.Corruptions != 0 ||
+			st.Delays != 0 || st.Reorders != 0 || st.Crashes != 0 {
+			t.Fatalf("spec %q: fresh plan reports fired faults %+v", spec, st)
+		}
+		if plan.Unfired() < 0 {
+			t.Fatalf("spec %q: negative unfired count %d", spec, plan.Unfired())
+		}
+	})
+}

@@ -8,14 +8,21 @@
 // *bitwise identical* results for every worker count (tests assert this).
 // Against the sequential solver — which accumulates in raw edge order —
 // results agree to roundoff, exactly as on the original machine, where the
-// vectorized/autotasked code also reordered the accumulations.
+// vectorized/autotasked code also reordered the accumulations. (On a
+// color-canonical mesh, whose edge list is stored in color order — see
+// reorder.ColorCanonical — the two orders coincide and the agreement is
+// bitwise.)
 //
 // Execution uses a persistent worker pool (see pool.go): the workers are
-// spawned once in New and parked between parallel regions, the per-color
-// chunk tables are prebuilt, adjacent zero/copy sweeps are fused into the
-// neighbouring vertex kernels, and all per-step scratch is solver-owned,
-// so Step performs zero heap allocations. Close releases the workers; a
-// Solver dropped without Close is cleaned up by the garbage collector.
+// spawned once, parked between parallel regions, and driven through
+// prebuilt per-color chunk tables; adjacent zero/copy sweeps are fused
+// into the neighbouring vertex kernels and all scratch is solver-owned,
+// so a steady-state Step (and multigrid Cycle) performs zero heap
+// allocations. The engine/levelEngine split in this file lets the same N
+// parked workers drive either a single grid (Solver) or every level of a
+// FAS multigrid sequence (Multigrid, multigrid.go). Close releases the
+// workers; a solver dropped without Close is cleaned up by the garbage
+// collector.
 package smsolver
 
 import (
@@ -28,11 +35,12 @@ import (
 	"eul3d/internal/euler"
 	"eul3d/internal/flops"
 	"eul3d/internal/mesh"
+	"eul3d/internal/multigrid"
 	"eul3d/internal/perf"
 )
 
-// taskKind names one parallel region of the time step; exec dispatches on
-// it so that forking never builds a closure.
+// taskKind names one parallel region; exec dispatches on it so that
+// forking never builds a closure.
 type taskKind uint8
 
 const (
@@ -53,9 +61,17 @@ const (
 	tCopyRes                       // copy smoothed result back (odd sweep counts)
 	tUpdate                        // RK update (final stage)
 	tUpdateNext                    // RK update + next-stage pressures + zeroing (fused)
+	tResInit                       // pressures + accumulator zeroing (standalone residual)
+	tInterp                        // inter-grid interpolation over a target chunk
+	tScatter                       // destination-grouped residual restriction rows
+	tRepairSave                    // repair restricted states + snapshot (fused)
+	tCorrDelta                     // coarse correction delta W - WSaved
+	tForcingSub                    // FAS forcing P = R' - R(w')
+	tApplyCorr                     // guarded application of the prolonged correction
 )
 
-// Instrumented phases of one time step.
+// Instrumented phases of one time step (the engine's internal phase
+// numbering; phaseMap routes them to accumulator slots).
 const (
 	phTimestep = iota // pressures, spectral radii, local time steps
 	phConvective
@@ -69,24 +85,26 @@ const (
 var phaseNames = [nPhases]string{"timestep", "convective", "dissipation", "residual", "smoothing", "update"}
 
 // normBlock is the fixed reduction block of residualNorm; partials are
-// combined in block order so the rounded norm is worker-count independent.
-const normBlock = 4096
+// combined in block order so the rounded norm is worker-count independent
+// and identical to the sequential solver's blocked reduction.
+const normBlock = euler.NormBlock
 
-// Solver executes the five-stage scheme with colored loops dispatched to a
-// persistent worker pool.
-type Solver struct {
-	D        *euler.Disc
-	NWorkers int
-
+// levelEngine holds everything the worker pool needs to run the scheme on
+// one mesh: the discretization, the colorings, the prebuilt chunk tables,
+// the per-step scratch and the analytic flop charges. A single-grid
+// Solver owns one; a Multigrid owns one per level, all driven by the same
+// engine (and thus the same parked workers).
+type levelEngine struct {
+	d          *euler.Disc
 	edgeColors *color.Coloring
 	faceColors *color.Coloring
 
 	w0, conv, diss, res []euler.State
 	normPartial         []float64
 
-	// Prebuilt chunk tables (computed once in New): per-worker vertex and
-	// norm-block ranges, and per-color per-worker edge/face ranges as
-	// absolute offsets into the coloring's Order permutation.
+	// Prebuilt chunk tables: per-worker vertex and norm-block ranges, and
+	// per-color per-worker edge/face ranges as absolute offsets into the
+	// coloring's Order permutation.
 	vertSpans  []span
 	vertActive int
 	normSpans  []span
@@ -96,52 +114,39 @@ type Solver struct {
 	faceSpans  [][]span
 	faceActive []int
 
-	pool   *pool
-	execFn func(int) // s.exec, bound once so fork never allocates
-
-	// Job descriptor for the current parallel region, published before the
-	// fork and read by the workers (the fork/join barrier orders both
-	// directions).
-	job       taskKind
-	group     int           // color group for colored tasks
-	alpha     float64       // RK stage coefficient
-	eps       float64       // residual-averaging coefficient
-	zeroDiss  bool          // tDtZero/tUpdateNext: also zero dissipation arrays
-	zeroCur   bool          // tSmoothCombine: also zero the next sweep's target
-	w         []euler.State // solution being advanced
-	forcing   []euler.State
-	cur, next []euler.State // residual-averaging ping-pong
-
-	// Instrumentation: per-phase wall clock plus analytic flop charges.
-	acc                                             *perf.Accum
+	// Analytic flop charges of the engine's step phases on this mesh.
 	flTimestep, flConv, flDiss, flCombine, flSmooth int64
 	flUpdate, flUpdateNext                          int64
 }
 
-// New builds a parallel solver over mesh m. nworkers <= 0 selects
-// GOMAXPROCS. The worker goroutines persist until Close (or until the
-// Solver is garbage-collected).
-func New(m *mesh.Mesh, p euler.Params, nworkers int) (*Solver, error) {
-	if nworkers <= 0 {
-		nworkers = runtime.GOMAXPROCS(0)
-	}
-	ec, err := color.Greedy(m.NV(), m.Edges)
-	if err != nil {
-		return nil, fmt.Errorf("smsolver: edge coloring: %w", err)
+// newLevelEngine builds the per-mesh tables. ec/fc may carry precomputed
+// colorings (verified here); nil selects the greedy ones.
+func newLevelEngine(m *mesh.Mesh, p euler.Params, nworkers int, ec, fc *color.Coloring) (*levelEngine, error) {
+	var err error
+	if ec == nil {
+		ec, err = color.Greedy(m.NV(), m.Edges)
+		if err != nil {
+			return nil, fmt.Errorf("edge coloring: %w", err)
+		}
+	} else if err = color.Verify(ec, m.NV(), m.Edges); err != nil {
+		return nil, fmt.Errorf("edge coloring: %w", err)
 	}
 	faces := make([][3]int32, len(m.BFaces))
 	for i := range m.BFaces {
 		faces[i] = m.BFaces[i].V
 	}
-	fc, err := color.GreedyFaces(m.NV(), faces)
-	if err != nil {
-		return nil, fmt.Errorf("smsolver: face coloring: %w", err)
+	if fc == nil {
+		fc, err = color.GreedyFaces(m.NV(), faces)
+		if err != nil {
+			return nil, fmt.Errorf("face coloring: %w", err)
+		}
+	} else if err = color.VerifyFaces(fc, m.NV(), faces); err != nil {
+		return nil, fmt.Errorf("face coloring: %w", err)
 	}
 	nv := m.NV()
 	nb := (nv + normBlock - 1) / normBlock
-	s := &Solver{
-		D:           euler.NewDisc(m, p),
-		NWorkers:    nworkers,
+	le := &levelEngine{
+		d:           euler.NewDisc(m, p),
 		edgeColors:  ec,
 		faceColors:  fc,
 		w0:          make([]euler.State, nv),
@@ -149,30 +154,22 @@ func New(m *mesh.Mesh, p euler.Params, nworkers int) (*Solver, error) {
 		diss:        make([]euler.State, nv),
 		res:         make([]euler.State, nv),
 		normPartial: make([]float64, nb),
-		acc:         perf.NewAccum(phaseNames[:]...),
 	}
-	s.vertSpans, s.vertActive = buildSpans(nv, nworkers)
-	s.normSpans, s.normActive = buildSpans(nb, nworkers)
-	s.edgeSpans, s.edgeActive = colorSpans(ec, nworkers)
-	s.faceSpans, s.faceActive = colorSpans(fc, nworkers)
+	le.vertSpans, le.vertActive = buildSpans(nv, nworkers)
+	le.normSpans, le.normActive = buildSpans(nb, nworkers)
+	le.edgeSpans, le.edgeActive = colorSpans(ec, nworkers)
+	le.faceSpans, le.faceActive = colorSpans(fc, nworkers)
 
 	ne, nbf := int64(m.NE()), int64(len(m.BFaces))
 	nv64 := int64(nv)
-	s.flTimestep = nv64*flops.PresVert + ne*flops.DtEdge + nbf*flops.DtBFace + nv64*flops.DtVertex
-	s.flConv = ne*flops.ConvEdge + nbf*flops.ConvBFace
-	s.flDiss = ne*(flops.Diss1Edge+flops.Diss2Edge) + nv64*flops.NuVert
-	s.flCombine = nv64 * flops.CombineVert
-	s.flSmooth = int64(p.NSmooth) * (ne*flops.SmoothEdge + nv64*flops.SmoothVert)
-	s.flUpdate = nv64 * flops.UpdateVert
-	s.flUpdateNext = nv64 * (flops.UpdateVert + flops.PresVert)
-
-	s.pool = newPool(nworkers)
-	s.execFn = s.exec
-	// The workers reference only the pool (its fn slot is cleared between
-	// forks), so an abandoned Solver is collectable; shut its pool down
-	// when that happens.
-	runtime.AddCleanup(s, func(p *pool) { p.shutdown() }, s.pool)
-	return s, nil
+	le.flTimestep = nv64*flops.PresVert + ne*flops.DtEdge + nbf*flops.DtBFace + nv64*flops.DtVertex
+	le.flConv = ne*flops.ConvEdge + nbf*flops.ConvBFace
+	le.flDiss = ne*(flops.Diss1Edge+flops.Diss2Edge) + nv64*flops.NuVert
+	le.flCombine = nv64 * flops.CombineVert
+	le.flSmooth = int64(p.NSmooth) * (ne*flops.SmoothEdge + nv64*flops.SmoothVert)
+	le.flUpdate = nv64 * flops.UpdateVert
+	le.flUpdateNext = nv64 * (flops.UpdateVert + flops.PresVert)
+	return le, nil
 }
 
 // colorSpans prebuilds the per-color per-worker chunk table of a coloring:
@@ -195,87 +192,119 @@ func colorSpans(c *color.Coloring, nw int) ([][]span, []int) {
 	return spans, active
 }
 
-// Close parks the engine permanently: the worker goroutines exit and the
-// Solver must not be stepped afterwards. Close is idempotent and optional —
-// the garbage collector releases the workers of an unreferenced Solver —
-// but deterministic teardown is kinder to tests and long-lived processes.
-func (s *Solver) Close() {
-	if s.pool != nil {
-		s.pool.shutdown()
-		s.pool = nil
+// engine is the pool-driving half: the fork/join barrier, the job
+// descriptor published before every parallel region, and the
+// instrumentation routing. It holds a pointer to the levelEngine of the
+// level currently being operated on, so the same N parked workers serve
+// every grid of a multigrid sequence.
+type engine struct {
+	pool   *pool
+	execFn func(int) // e.exec, bound once so fork never allocates
+
+	// Instrumentation: engine step phases are charged to acc slots through
+	// phaseMap (identity for the single-grid Solver; collapsed to one
+	// per-level "steps" slot by Multigrid).
+	acc      *perf.Accum
+	phaseMap [nPhases]int
+
+	lev *levelEngine // level the current region runs on
+
+	// Job descriptor for the current parallel region, published before the
+	// fork and read by the workers (the fork/join barrier orders both
+	// directions).
+	job       taskKind
+	group     int           // color group for colored tasks
+	alpha     float64       // RK stage coefficient
+	eps       float64       // residual-averaging coefficient
+	zeroDiss  bool          // tDtZero/tUpdateNext: also zero dissipation arrays
+	zeroCur   bool          // tSmoothCombine: also zero the next sweep's target
+	w         []euler.State // solution being advanced
+	forcing   []euler.State
+	cur, next []euler.State // residual-averaging ping-pong
+	smTarget  []euler.State // array being smoothed (res, or a correction)
+
+	// Generic per-vertex operands (tRepairSave/tCorrDelta/tForcingSub/
+	// tApplyCorr) and the inter-grid transfer descriptor.
+	va, vb, vdst []euler.State
+	xop          *multigrid.TransferOp
+	xplan        *multigrid.ScatterPlan
+	xsrc, xdst   []euler.State
+	xspans       []span
+}
+
+// init starts the pool and binds the dispatch function.
+func (e *engine) init(nworkers int, acc *perf.Accum) {
+	e.acc = acc
+	for i := range e.phaseMap {
+		e.phaseMap[i] = i
 	}
+	e.pool = newPool(nworkers)
+	e.execFn = e.exec
 }
-
-// NumColors returns the edge and boundary-face group counts.
-func (s *Solver) NumColors() (edges, faces int) {
-	return s.edgeColors.NumColors(), s.faceColors.NumColors()
-}
-
-// Stats returns the accumulated per-phase wall-clock timings with their
-// analytic flop charges (internal/flops), from which per-phase and total
-// MFlops rates follow.
-func (s *Solver) Stats() perf.Stats { return s.acc.Stats() }
 
 // fork publishes the job descriptor and runs one parallel region.
-func (s *Solver) fork(j taskKind, group, active int) {
-	s.job, s.group = j, group
-	s.pool.fork(s.execFn, active)
+func (e *engine) fork(j taskKind, group, active int) {
+	e.job, e.group = j, group
+	e.pool.fork(e.execFn, active)
 }
 
-// coloredEdges runs one colored task over every edge group (the autotasked
-// vector loop of Section 3.1), one barrier per color.
-func (s *Solver) coloredEdges(j taskKind) {
-	for g := range s.edgeActive {
-		s.fork(j, g, s.edgeActive[g])
+// coloredEdges runs one colored task over every edge group of the current
+// level (the autotasked vector loop of Section 3.1), one barrier per color.
+func (e *engine) coloredEdges(j taskKind) {
+	lev := e.lev
+	for g := range lev.edgeActive {
+		e.fork(j, g, lev.edgeActive[g])
 	}
 }
 
 // coloredFaces runs one colored task over every boundary-face group.
-func (s *Solver) coloredFaces(j taskKind) {
-	for g := range s.faceActive {
-		s.fork(j, g, s.faceActive[g])
+func (e *engine) coloredFaces(j taskKind) {
+	lev := e.lev
+	for g := range lev.faceActive {
+		e.fork(j, g, lev.faceActive[g])
 	}
 }
 
 // exec runs worker wk's chunk of the current parallel region. Every case
 // is a table lookup plus a kernel call on solver-owned state — no
 // closures, no allocation.
-func (s *Solver) exec(wk int) {
-	d := s.D
-	switch s.job {
+func (e *engine) exec(wk int) {
+	lev := e.lev
+	d := lev.d
+	switch e.job {
 	case tInit:
-		sp := s.vertSpans[wk]
-		d.StepInitKernel(s.w, s.w0, sp.lo, sp.hi)
+		sp := lev.vertSpans[wk]
+		d.StepInitKernel(e.w, lev.w0, sp.lo, sp.hi)
 	case tLamEdges:
-		sp := s.edgeSpans[s.group][wk]
-		d.LambdaEdgesKernel(s.w, d.Lam(), s.edgeColors.Order[sp.lo:sp.hi])
+		sp := lev.edgeSpans[e.group][wk]
+		d.LambdaEdgesKernel(e.w, d.Lam(), lev.edgeColors.Order[sp.lo:sp.hi])
 	case tLamFaces:
-		sp := s.faceSpans[s.group][wk]
-		d.LambdaBFacesKernel(s.w, d.Lam(), s.faceColors.Order[sp.lo:sp.hi])
+		sp := lev.faceSpans[e.group][wk]
+		d.LambdaBFacesKernel(e.w, d.Lam(), lev.faceColors.Order[sp.lo:sp.hi])
 	case tDtZero:
-		sp := s.vertSpans[wk]
+		sp := lev.vertSpans[wk]
 		d.DtRangeKernel(d.Lam(), sp.lo, sp.hi)
-		d.StageZeroKernel(s.conv, s.diss, s.zeroDiss, sp.lo, sp.hi)
+		d.StageZeroKernel(lev.conv, lev.diss, e.zeroDiss, sp.lo, sp.hi)
 	case tConvEdges:
-		sp := s.edgeSpans[s.group][wk]
-		d.ConvectiveEdgesKernel(s.w, s.conv, s.edgeColors.Order[sp.lo:sp.hi])
+		sp := lev.edgeSpans[e.group][wk]
+		d.ConvectiveEdgesKernel(e.w, lev.conv, lev.edgeColors.Order[sp.lo:sp.hi])
 	case tConvFaces:
-		sp := s.faceSpans[s.group][wk]
-		d.BoundaryFluxKernel(s.w, s.conv, s.faceColors.Order[sp.lo:sp.hi])
+		sp := lev.faceSpans[e.group][wk]
+		d.BoundaryFluxKernel(e.w, lev.conv, lev.faceColors.Order[sp.lo:sp.hi])
 	case tDiss1:
-		sp := s.edgeSpans[s.group][wk]
-		d.DissPass1Kernel(s.w, d.Lapl(), d.Sensor(), d.Den(), s.edgeColors.Order[sp.lo:sp.hi])
+		sp := lev.edgeSpans[e.group][wk]
+		d.DissPass1Kernel(e.w, d.Lapl(), d.Sensor(), d.Den(), lev.edgeColors.Order[sp.lo:sp.hi])
 	case tNu:
-		sp := s.vertSpans[wk]
+		sp := lev.vertSpans[wk]
 		d.NuRangeKernel(d.Sensor(), d.Den(), sp.lo, sp.hi)
 	case tDiss2:
-		sp := s.edgeSpans[s.group][wk]
-		d.DissPass2Kernel(s.w, d.Lapl(), s.diss, d.Sensor(), s.edgeColors.Order[sp.lo:sp.hi])
+		sp := lev.edgeSpans[e.group][wk]
+		d.DissPass2Kernel(e.w, d.Lapl(), lev.diss, d.Sensor(), lev.edgeColors.Order[sp.lo:sp.hi])
 	case tCombine:
-		sp := s.vertSpans[wk]
-		d.CombineResidualKernel(s.res, s.conv, s.diss, s.forcing, sp.lo, sp.hi)
+		sp := lev.vertSpans[wk]
+		d.CombineResidualKernel(lev.res, lev.conv, lev.diss, e.forcing, sp.lo, sp.hi)
 	case tNorm:
-		sp := s.normSpans[wk]
+		sp := lev.normSpans[wk]
 		nv := d.M.NV()
 		for b := sp.lo; b < sp.hi; b++ {
 			lo := b * normBlock
@@ -285,38 +314,81 @@ func (s *Solver) exec(wk int) {
 			}
 			sum := 0.0
 			for i := lo; i < hi; i++ {
-				r := s.res[i][0] / d.M.Vol[i]
+				r := lev.res[i][0] / d.M.Vol[i]
 				sum += r * r
 			}
-			s.normPartial[b] = sum
+			lev.normPartial[b] = sum
 		}
 	case tSmoothStart:
-		sp := s.vertSpans[wk]
-		copy(d.RHSScratch()[sp.lo:sp.hi], s.res[sp.lo:sp.hi])
-		zero(s.next[sp.lo:sp.hi])
+		sp := lev.vertSpans[wk]
+		copy(d.RHSScratch()[sp.lo:sp.hi], e.smTarget[sp.lo:sp.hi])
+		zero(e.next[sp.lo:sp.hi])
 	case tSmoothAccum:
-		sp := s.edgeSpans[s.group][wk]
-		d.SmoothAccumKernel(s.cur, s.next, s.edgeColors.Order[sp.lo:sp.hi])
+		sp := lev.edgeSpans[e.group][wk]
+		d.SmoothAccumKernel(e.cur, e.next, lev.edgeColors.Order[sp.lo:sp.hi])
 	case tSmoothCombine:
-		sp := s.vertSpans[wk]
-		d.SmoothCombineKernel(d.RHSScratch(), s.next, s.eps, sp.lo, sp.hi)
-		if s.zeroCur {
+		sp := lev.vertSpans[wk]
+		d.SmoothCombineKernel(d.RHSScratch(), e.next, e.eps, sp.lo, sp.hi)
+		if e.zeroCur {
 			// cur has been fully gathered (barrier before this region) and
 			// becomes the next sweep's accumulation target: zero it here
 			// instead of in a sweep of its own.
-			zero(s.cur[sp.lo:sp.hi])
+			zero(e.cur[sp.lo:sp.hi])
 		}
 	case tCopyRes:
-		sp := s.vertSpans[wk]
-		copy(s.res[sp.lo:sp.hi], s.cur[sp.lo:sp.hi])
+		sp := lev.vertSpans[wk]
+		copy(e.smTarget[sp.lo:sp.hi], e.cur[sp.lo:sp.hi])
 	case tUpdate:
-		sp := s.vertSpans[wk]
-		d.UpdateRangeKernel(s.w, s.w0, s.res, s.alpha, sp.lo, sp.hi)
+		sp := lev.vertSpans[wk]
+		d.UpdateRangeKernel(e.w, lev.w0, lev.res, e.alpha, sp.lo, sp.hi)
 	case tUpdateNext:
-		sp := s.vertSpans[wk]
-		d.UpdateRangeKernel(s.w, s.w0, s.res, s.alpha, sp.lo, sp.hi)
-		d.PressureRangeKernel(s.w, sp.lo, sp.hi)
-		d.StageZeroKernel(s.conv, s.diss, s.zeroDiss, sp.lo, sp.hi)
+		sp := lev.vertSpans[wk]
+		d.UpdateRangeKernel(e.w, lev.w0, lev.res, e.alpha, sp.lo, sp.hi)
+		d.PressureRangeKernel(e.w, sp.lo, sp.hi)
+		d.StageZeroKernel(lev.conv, lev.diss, e.zeroDiss, sp.lo, sp.hi)
+	case tResInit:
+		sp := lev.vertSpans[wk]
+		d.PressureRangeKernel(e.w, sp.lo, sp.hi)
+		d.StageZeroKernel(lev.conv, lev.diss, true, sp.lo, sp.hi)
+	case tInterp:
+		sp := e.xspans[wk]
+		e.xop.InterpRange(e.xsrc, e.xdst, sp.lo, sp.hi)
+	case tScatter:
+		sp := e.xspans[wk]
+		e.xplan.GatherRange(e.xsrc, e.xdst, sp.lo, sp.hi)
+	case tRepairSave:
+		sp := lev.vertSpans[wk]
+		for i := sp.lo; i < sp.hi; i++ {
+			st := d.P.Repair(e.va[i])
+			e.va[i] = st
+			e.vb[i] = st
+		}
+	case tCorrDelta:
+		sp := lev.vertSpans[wk]
+		for i := sp.lo; i < sp.hi; i++ {
+			for k := 0; k < euler.NVar; k++ {
+				e.vdst[i][k] = e.va[i][k] - e.vb[i][k]
+			}
+		}
+	case tForcingSub:
+		sp := lev.vertSpans[wk]
+		for i := sp.lo; i < sp.hi; i++ {
+			for k := 0; k < euler.NVar; k++ {
+				e.va[i][k] -= e.vb[i][k]
+			}
+		}
+	case tApplyCorr:
+		sp := lev.vertSpans[wk]
+		for i := sp.lo; i < sp.hi; i++ {
+			var cand euler.State
+			for k := 0; k < euler.NVar; k++ {
+				cand[k] = e.va[i][k] + e.vb[i][k]
+			}
+			if !d.P.Guard(cand) {
+				continue // positivity guard: skip the correction at this vertex
+			}
+			e.va[i] = cand
+		}
 	}
 }
 
@@ -326,110 +398,226 @@ func zero(a []euler.State) {
 	}
 }
 
-// tick charges the wall clock since *t to a phase along with its analytic
-// flop count, and restarts the clock.
-func (s *Solver) tick(phase int, fl int64, t *time.Time) {
+// tick charges the wall clock since *t to an engine phase (routed through
+// phaseMap) along with its analytic flop count, and restarts the clock.
+func (e *engine) tick(phase int, fl int64, t *time.Time) {
 	now := time.Now()
-	s.acc.Add(phase, now.Sub(*t), fl)
+	e.acc.Add(e.phaseMap[phase], now.Sub(*t), fl)
 	*t = now
 }
 
-// Step advances w by one multistage time step, identically to
+// step advances w by one multistage time step on lev, identically to
 // euler.Disc.Step but with all loops colored and dispatched to the worker
 // pool. It returns the first-stage residual norm and performs no heap
 // allocations.
-func (s *Solver) Step(w []euler.State, forcing []euler.State) float64 {
-	d := s.D
+func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
+	d := lev.d
 	if d.M.NV() == 0 {
 		return 0
 	}
-	s.w, s.forcing = w, forcing
+	e.lev = lev
+	e.w, e.forcing = w, forcing
 	t := time.Now()
 
 	// Pressures, spectral radii, local time steps; the trailing fused sweep
 	// also zeroes the stage-0 accumulators.
-	s.fork(tInit, 0, s.vertActive)
-	s.coloredEdges(tLamEdges)
-	s.coloredFaces(tLamFaces)
-	s.zeroDiss = euler.DissipStages > 0
-	s.fork(tDtZero, 0, s.vertActive)
-	s.tick(phTimestep, s.flTimestep, &t)
+	e.fork(tInit, 0, lev.vertActive)
+	e.coloredEdges(tLamEdges)
+	e.coloredFaces(tLamFaces)
+	e.zeroDiss = euler.DissipStages > 0
+	e.fork(tDtZero, 0, lev.vertActive)
+	e.tick(phTimestep, lev.flTimestep, &t)
 
 	norm := 0.0
 	nstages := len(d.P.Stages)
 	for q, alpha := range d.P.Stages {
 		// Convective operator (accumulators were zeroed by the previous
 		// stage's update sweep, or by tDtZero for stage 0).
-		s.coloredEdges(tConvEdges)
-		s.coloredFaces(tConvFaces)
-		s.tick(phConvective, s.flConv, &t)
+		e.coloredEdges(tConvEdges)
+		e.coloredFaces(tConvFaces)
+		e.tick(phConvective, lev.flConv, &t)
 
 		// Dissipation on the first stages, frozen afterwards.
 		if q < euler.DissipStages {
-			s.coloredEdges(tDiss1)
-			s.fork(tNu, 0, s.vertActive)
-			s.coloredEdges(tDiss2)
-			s.tick(phDissipation, s.flDiss, &t)
+			e.coloredEdges(tDiss1)
+			e.fork(tNu, 0, lev.vertActive)
+			e.coloredEdges(tDiss2)
+			e.tick(phDissipation, lev.flDiss, &t)
 		}
 
-		s.fork(tCombine, 0, s.vertActive)
+		e.fork(tCombine, 0, lev.vertActive)
 		if q == 0 {
-			norm = s.residualNorm()
+			norm = e.residualNorm(lev)
 		}
-		s.tick(phResidual, s.flCombine, &t)
+		e.tick(phResidual, lev.flCombine, &t)
 
-		s.smooth()
-		s.tick(phSmoothing, s.flSmooth, &t)
+		e.smooth(lev, lev.res)
+		e.tick(phSmoothing, lev.flSmooth, &t)
 
-		s.alpha = alpha
+		e.alpha = alpha
 		if q == nstages-1 {
-			s.fork(tUpdate, 0, s.vertActive)
-			s.tick(phUpdate, s.flUpdate, &t)
+			e.fork(tUpdate, 0, lev.vertActive)
+			e.tick(phUpdate, lev.flUpdate, &t)
 		} else {
 			// Fused stage boundary: RK update, next stage's pressures, and
 			// next stage's accumulator zeroing in one sweep.
-			s.zeroDiss = q+1 < euler.DissipStages
-			s.fork(tUpdateNext, 0, s.vertActive)
-			s.tick(phUpdate, s.flUpdateNext, &t)
+			e.zeroDiss = q+1 < euler.DissipStages
+			e.fork(tUpdateNext, 0, lev.vertActive)
+			e.tick(phUpdate, lev.flUpdateNext, &t)
 		}
 	}
-	s.w, s.forcing = nil, nil
+	e.w, e.forcing = nil, nil
 	return norm
 }
 
-// residualNorm computes the RMS density residual / volume. The reduction
-// uses fixed-size blocks combined in block order, so the rounded result is
-// independent of the worker count.
-func (s *Solver) residualNorm() float64 {
-	s.fork(tNorm, 0, s.normActive)
+// residual evaluates the steady residual R(w) plus the optional FAS
+// forcing into lev.res, matching euler.Disc.Residual (followed by the
+// forcing add) arithmetic-for-arithmetic. Used by the multigrid forcing
+// construction; performs no heap allocations.
+func (e *engine) residual(lev *levelEngine, w, forcing []euler.State) {
+	if lev.d.M.NV() == 0 {
+		return
+	}
+	e.lev = lev
+	e.w, e.forcing = w, forcing
+	e.fork(tResInit, 0, lev.vertActive)
+	e.coloredEdges(tConvEdges)
+	e.coloredFaces(tConvFaces)
+	e.coloredEdges(tDiss1)
+	e.fork(tNu, 0, lev.vertActive)
+	e.coloredEdges(tDiss2)
+	e.fork(tCombine, 0, lev.vertActive)
+	e.w, e.forcing = nil, nil
+}
+
+// residualNorm computes the RMS density residual / volume on lev. The
+// reduction uses fixed-size blocks combined in block order, so the rounded
+// result is independent of the worker count and equal to the sequential
+// solver's euler.ResidualNormSq.
+func (e *engine) residualNorm(lev *levelEngine) float64 {
+	e.fork(tNorm, 0, lev.normActive)
 	sum := 0.0
-	for _, p := range s.normPartial {
+	for _, p := range lev.normPartial {
 		sum += p
 	}
-	return math.Sqrt(sum / float64(s.D.M.NV()))
+	return math.Sqrt(sum / float64(lev.d.M.NV()))
 }
 
 // smooth applies the implicit residual averaging with colored parallel
-// sweeps on s.res. The right-hand-side copy, the first sweep's zeroing and
-// each following sweep's zeroing ride along on neighbouring vertex sweeps.
-func (s *Solver) smooth() {
-	d := s.D
+// sweeps on target (the stage residual, or a prolonged correction). The
+// right-hand-side copy, the first sweep's zeroing and each following
+// sweep's zeroing ride along on neighbouring vertex sweeps.
+func (e *engine) smooth(lev *levelEngine, target []euler.State) {
+	d := lev.d
 	eps := d.P.EpsSmooth
-	if eps == 0 || d.P.NSmooth == 0 {
+	if eps == 0 || d.P.NSmooth == 0 || len(target) == 0 {
 		return
 	}
-	s.eps = eps
-	s.cur, s.next = s.res, d.SmoothScratch()
-	s.fork(tSmoothStart, 0, s.vertActive)
+	e.lev = lev
+	e.eps = eps
+	e.smTarget = target
+	e.cur, e.next = target, d.SmoothScratch()
+	e.fork(tSmoothStart, 0, lev.vertActive)
 	for sweep := 0; sweep < d.P.NSmooth; sweep++ {
-		s.coloredEdges(tSmoothAccum)
-		s.zeroCur = sweep+1 < d.P.NSmooth
-		s.fork(tSmoothCombine, 0, s.vertActive)
-		s.cur, s.next = s.next, s.cur
+		e.coloredEdges(tSmoothAccum)
+		e.zeroCur = sweep+1 < d.P.NSmooth
+		e.fork(tSmoothCombine, 0, lev.vertActive)
+		e.cur, e.next = e.next, e.cur
 	}
-	if &s.cur[0] != &s.res[0] {
-		s.fork(tCopyRes, 0, s.vertActive)
+	if &e.cur[0] != &target[0] {
+		e.fork(tCopyRes, 0, lev.vertActive)
 	}
+	e.smTarget = nil
+}
+
+// interp runs an inter-grid interpolation chunked over the target range
+// table (spans/active belong to the level owning dst).
+func (e *engine) interp(op *multigrid.TransferOp, src, dst []euler.State, spans []span, active int) {
+	e.xop, e.xsrc, e.xdst, e.xspans = op, src, dst, spans
+	e.fork(tInterp, 0, active)
+	e.xop, e.xsrc, e.xdst, e.xspans = nil, nil, nil, nil
+}
+
+// scatter runs the destination-grouped residual restriction chunked over
+// the destination-row table.
+func (e *engine) scatter(pl *multigrid.ScatterPlan, src, dst []euler.State, spans []span, active int) {
+	e.xplan, e.xsrc, e.xdst, e.xspans = pl, src, dst, spans
+	e.fork(tScatter, 0, active)
+	e.xplan, e.xsrc, e.xdst, e.xspans = nil, nil, nil, nil
+}
+
+// vertexOp runs one of the generic per-vertex regions over lev's vertices.
+func (e *engine) vertexOp(j taskKind, lev *levelEngine, a, b, dst []euler.State) {
+	e.lev = lev
+	e.va, e.vb, e.vdst = a, b, dst
+	e.fork(j, 0, lev.vertActive)
+	e.va, e.vb, e.vdst = nil, nil, nil
+}
+
+// Solver executes the five-stage scheme on a single grid with colored
+// loops dispatched to a persistent worker pool.
+type Solver struct {
+	D        *euler.Disc
+	NWorkers int
+
+	le  *levelEngine
+	eng engine
+}
+
+// New builds a parallel solver over mesh m. nworkers <= 0 selects
+// GOMAXPROCS. The worker goroutines persist until Close (or until the
+// Solver is garbage-collected).
+func New(m *mesh.Mesh, p euler.Params, nworkers int) (*Solver, error) {
+	return NewColored(m, p, nworkers, nil, nil)
+}
+
+// NewColored is New with caller-provided edge and boundary-face colorings
+// (verified here) instead of the greedy ones — used with color-canonical
+// meshes, where the identity-run colorings make the parallel solver
+// bitwise identical to the sequential one.
+func NewColored(m *mesh.Mesh, p euler.Params, nworkers int, edges, faces *color.Coloring) (*Solver, error) {
+	if nworkers <= 0 {
+		nworkers = runtime.GOMAXPROCS(0)
+	}
+	le, err := newLevelEngine(m, p, nworkers, edges, faces)
+	if err != nil {
+		return nil, fmt.Errorf("smsolver: %w", err)
+	}
+	s := &Solver{D: le.d, NWorkers: nworkers, le: le}
+	s.eng.init(nworkers, perf.NewAccum(phaseNames[:]...))
+	// The workers reference only the pool (its fn slot is cleared between
+	// forks), so an abandoned Solver is collectable; shut its pool down
+	// when that happens.
+	runtime.AddCleanup(s, func(p *pool) { p.shutdown() }, s.eng.pool)
+	return s, nil
+}
+
+// Close parks the engine permanently: the worker goroutines exit and the
+// Solver must not be stepped afterwards. Close is idempotent and optional —
+// the garbage collector releases the workers of an unreferenced Solver —
+// but deterministic teardown is kinder to tests and long-lived processes.
+func (s *Solver) Close() {
+	if s.eng.pool != nil {
+		s.eng.pool.shutdown()
+		s.eng.pool = nil
+	}
+}
+
+// NumColors returns the edge and boundary-face group counts.
+func (s *Solver) NumColors() (edges, faces int) {
+	return s.le.edgeColors.NumColors(), s.le.faceColors.NumColors()
+}
+
+// Stats returns the accumulated per-phase wall-clock timings with their
+// analytic flop charges (internal/flops), from which per-phase and total
+// MFlops rates follow.
+func (s *Solver) Stats() perf.Stats { return s.eng.acc.Stats() }
+
+// Step advances w by one multistage time step, identically to
+// euler.Disc.Step but parallel. It returns the first-stage residual norm
+// and performs no heap allocations.
+func (s *Solver) Step(w []euler.State, forcing []euler.State) float64 {
+	return s.eng.step(s.le, w, forcing)
 }
 
 // InitUniform fills w with the freestream state.

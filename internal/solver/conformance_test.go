@@ -1,0 +1,194 @@
+package solver
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"eul3d/internal/dmsolver"
+	"eul3d/internal/euler"
+	"eul3d/internal/graph"
+	"eul3d/internal/mesh"
+	"eul3d/internal/meshgen"
+	"eul3d/internal/multigrid"
+	"eul3d/internal/partition"
+	"eul3d/internal/reorder"
+	"eul3d/internal/smsolver"
+)
+
+// TestCrossEngineConformance is the cross-engine bitwise conformance
+// suite: one mesh sequence, three solver engines — serial multigrid,
+// pooled shared-memory multigrid at several worker counts, and the
+// distributed-memory multigrid (both sequential orchestration and
+// concurrent MIMD) — asserting bitwise-identical solutions and residual
+// histories.
+//
+// Bitwise identity across engines requires identical floating-point
+// accumulation order, so the suite runs on color-canonical meshes
+// (reorder.ColorCanonical): the edge and boundary-face lists are stored
+// in color-group order, making the sequential raw-order accumulation, the
+// pooled engine's color-order accumulation, and the one-processor
+// distributed solver's partition-local order one and the same. The norm
+// reduction is blocked identically in all engines (euler.NormBlock).
+// Multi-processor distributed runs reassociate per-vertex sums across
+// partition boundaries and therefore agree to tight roundoff instead;
+// that is asserted separately.
+func TestCrossEngineConformance(t *testing.T) {
+	for _, tc := range []struct {
+		name          string
+		gamma, levels int
+	}{
+		{"V-cycle-2-levels", 1, 2},
+		{"W-cycle-3-levels", 2, 3},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			raw, err := meshgen.Sequence(meshgen.DefaultChannel(10, 7, 5, 17), tc.levels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon := make([]*mesh.Mesh, len(raw))
+			cols := make([]smsolver.Colorings, len(raw))
+			for i, m := range raw {
+				cm, ec, fc, err := reorder.ColorCanonical(m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				canon[i] = cm
+				cols[i] = smsolver.Colorings{Edges: ec, Faces: fc}
+			}
+			p := euler.DefaultParams(0.675, 0)
+			const cycles = 5
+
+			// Reference: the serial FAS multigrid.
+			serial, err := multigrid.New(canon, p, tc.gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refHist := make([]float64, cycles)
+			for c := range refHist {
+				refHist[c] = serial.Cycle()
+			}
+			refW := serial.Fine().W
+
+			check := func(engine string, hist []float64, w []euler.State) {
+				t.Helper()
+				for c := range hist {
+					if hist[c] != refHist[c] {
+						t.Fatalf("%s: cycle %d residual %v, serial %v", engine, c, hist[c], refHist[c])
+					}
+				}
+				if len(w) != len(refW) {
+					t.Fatalf("%s: %d states, serial %d", engine, len(w), len(refW))
+				}
+				for i := range w {
+					if w[i] != refW[i] {
+						t.Fatalf("%s: vertex %d state %v, serial %v", engine, i, w[i], refW[i])
+					}
+				}
+			}
+
+			// Pooled shared-memory multigrid, several worker counts.
+			for _, nw := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+				mg, err := smsolver.NewMultigridColored(canon, p, tc.gamma, nw, cols)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hist := make([]float64, cycles)
+				for c := range hist {
+					hist[c] = mg.Cycle()
+				}
+				check(fmt.Sprintf("pooled[workers=%d]", nw), hist, mg.Fine().W)
+				mg.Close()
+			}
+
+			// Distributed multigrid on one processor: partition-local index
+			// order equals mesh order, so it is bitwise too — in both the
+			// sequential orchestration and the concurrent MIMD mode.
+			parts := make([][]int32, len(canon))
+			parts[0] = make([]int32, canon[0].NV())
+			dmSeq, err := dmsolver.NewMultigrid(canon, parts, 1, p, tc.gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hist := make([]float64, cycles)
+			for c := range hist {
+				if hist[c], err = dmSeq.Cycle(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check("distributed[nproc=1]", hist, dmSeq.GatherSolution())
+
+			dmConc, err := dmsolver.NewMultigrid(canon, parts, 1, p, tc.gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range hist {
+				if hist[c], err = dmConc.CycleConcurrent(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check("distributed-mimd[nproc=1]", hist, dmConc.GatherSolution())
+
+			// Multi-processor distributed: partition boundaries reassociate
+			// the per-vertex sums, so agreement is to roundoff only — and
+			// the scheme's discrete switches (sensor max, positivity guard)
+			// amplify the reassociation noise by orders of magnitude over
+			// the startup transient of this small mesh. The loose bound is a
+			// sanity cross-check (real defects show up at O(1)), not part of
+			// the bitwise contract established above.
+			g, err := graph.FromEdges(canon[0].NV(), canon[0].Edges)
+			if err != nil {
+				t.Fatal(err)
+			}
+			finePart, err := partition.Partition(g, canon[0].X, 4, partition.Spectral, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parts4 := make([][]int32, len(canon))
+			parts4[0] = finePart
+			dm4, err := dmsolver.NewMultigrid(canon, parts4, 4, p, tc.gamma)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for c := range hist {
+				norm, err := dm4.Cycle()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rel := relDiff(norm, refHist[c]); rel > 1e-4 {
+					t.Fatalf("distributed[nproc=4]: cycle %d residual %v vs %v (rel %v)", c, norm, refHist[c], rel)
+				}
+			}
+			w4 := dm4.GatherSolution()
+			for i := range w4 {
+				for k := 0; k < euler.NVar; k++ {
+					if rel := relDiff(w4[i][k], refW[i][k]); rel > 1e-4 {
+						t.Fatalf("distributed[nproc=4]: vertex %d var %d %v vs %v", i, k, w4[i][k], refW[i][k])
+					}
+				}
+			}
+		})
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := 1.0
+	if ab := abs64(a); ab > m {
+		m = ab
+	}
+	if bb := abs64(b); bb > m {
+		m = bb
+	}
+	return d / m
+}
+
+func abs64(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -116,6 +116,25 @@ func NewSharedMemory(m *mesh.Mesh, p euler.Params, nworkers int) (*Steady, error
 	return &Steady{s: &smStepper{sm: sm, w: w}, cfl: p.CFL, close: sm.Close}, nil
 }
 
+type smgStepper struct{ mg *smsolver.Multigrid }
+
+func (s *smgStepper) cycle() float64          { return s.mg.Cycle() }
+func (s *smgStepper) solution() []euler.State { return s.mg.Fine().W }
+func (s *smgStepper) stats() perf.Stats       { return s.mg.Stats() }
+
+// NewSharedMemoryMultigrid builds a multigrid steady solver over the mesh
+// sequence (finest first) with cycle index gamma, driven by the persistent
+// worker-pool engine with nworkers workers (0 = GOMAXPROCS). Cycles are
+// bitwise reproducible for any worker count; per-level timings are
+// available from Stats. Call Close when done to park the pool.
+func NewSharedMemoryMultigrid(meshes []*mesh.Mesh, p euler.Params, gamma, nworkers int) (*Steady, error) {
+	mg, err := smsolver.NewMultigrid(meshes, p, gamma, nworkers)
+	if err != nil {
+		return nil, err
+	}
+	return &Steady{s: &smgStepper{mg: mg}, cfl: p.CFL, close: mg.Close}, nil
+}
+
 // NewMultigrid builds a multigrid steady solver over the mesh sequence
 // (finest first) with cycle index gamma.
 func NewMultigrid(meshes []*mesh.Mesh, p euler.Params, gamma int) (*Steady, error) {
