@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify bench clean
+.PHONY: all build test race verify serve-smoke bench clean
 
 all: build
 
@@ -17,15 +17,22 @@ test:
 # and pooled multigrid, V- and W-cycles), and the transfer operators the
 # pooled multigrid scatters in parallel.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/...
 
-# Full gate: vet, all tests, race pass, and a short fuzz smoke on the
-# fault-spec parser (errors, never panics).
+# End-to-end serving smoke: build eul3dd, start it on a random port, run a
+# channel-mesh job to completion, check /metrics, then SIGTERM it mid-job
+# and verify the drain checkpoint resumes on restart.
+serve-smoke:
+	$(GO) test -run TestServeSmoke -count 1 -v ./cmd/eul3dd
+
+# Full gate: vet, all tests, race pass, a short fuzz smoke on the
+# fault-spec parser (errors, never panics), and the serving smoke test.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/...
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 2s ./internal/simnet
+	$(GO) test -run TestServeSmoke -count 1 ./cmd/eul3dd
 
 # Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,
 # which writes its results to BENCH_smsolver.json.

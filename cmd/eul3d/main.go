@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"strings"
 
@@ -203,6 +204,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("eul3d: %v", err)
 	}
+	checkDivergence(res.History)
 	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
 		res.Cycles, res.InitialNorm, res.FinalNorm, res.Ordersof10)
 	if res.Converged {
@@ -339,6 +341,7 @@ func runDistributed(p euler.Params, loadSeq func(int) ([]*mesh.Mesh, error), ck 
 	if err != nil {
 		log.Fatalf("eul3d: %v", err)
 	}
+	checkDivergence(res.History)
 
 	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
 		res.Cycles, res.InitialNorm, res.FinalNorm, res.Ordersof10)
@@ -371,6 +374,19 @@ func runDistributed(p euler.Params, loadSeq func(int) ([]*mesh.Mesh, error), ck 
 			log.Fatalf("eul3d: %v", err)
 		}
 		fmt.Printf("VTK written to %s\n", o.saveVTK)
+	}
+}
+
+// checkDivergence aborts with a nonzero exit when the residual history
+// contains a NaN or Inf: the run has blown up and the flow-field summary
+// that would follow is meaningless. The usual culprits are a freestream
+// condition outside the scheme's stable range or a badly distorted mesh.
+func checkDivergence(hist []float64) {
+	for c, n := range hist {
+		if math.IsNaN(n) || math.IsInf(n, 0) {
+			fmt.Fprintf(os.Stderr, "eul3d: solution diverged: residual norm %g at cycle %d; try a lower -mach or -alpha, or a less distorted mesh (-seed)\n", n, c+1)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"errors"
+	"math"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// checkDivergence calls os.Exit, so the failing paths run in a re-exec'd
+// copy of the test binary.
+func TestCheckDivergenceExit(t *testing.T) {
+	if h := os.Getenv("EUL3D_TEST_DIVERGE"); h != "" {
+		switch h {
+		case "nan":
+			checkDivergence([]float64{1, 0.5, math.NaN()})
+		case "inf":
+			checkDivergence([]float64{1, math.Inf(1)})
+		}
+		os.Exit(0) // checkDivergence should have exited already
+	}
+
+	for _, mode := range []string{"nan", "inf"} {
+		cmd := exec.Command(os.Args[0], "-test.run=TestCheckDivergenceExit")
+		cmd.Env = append(os.Environ(), "EUL3D_TEST_DIVERGE="+mode)
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Fatalf("%s history: exited 0, want nonzero\n%s", mode, out)
+		}
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("%s history: %v", mode, err)
+		}
+		if code := ee.ExitCode(); code == 0 {
+			t.Errorf("%s history: exit code %d, want nonzero", mode, code)
+		}
+		if !strings.Contains(string(out), "solution diverged") {
+			t.Errorf("%s history: no clear divergence message in output:\n%s", mode, out)
+		}
+	}
+}
+
+// A clean (finite) history must not exit.
+func TestCheckDivergenceClean(t *testing.T) {
+	checkDivergence([]float64{1, 0.5, 0.25, 1e-9})
+	checkDivergence(nil)
+}

@@ -1,0 +1,108 @@
+// Command eul3dd is the solver-as-a-service daemon: an HTTP front end
+// over internal/serve's job scheduler and engine cache. Solve requests
+// are queued with priorities and deadlines, run on cached engines (mesh +
+// discretization + colorings + parked worker pool, shared across jobs of
+// the same mesh), and observed or cancelled mid-flight. On SIGTERM the
+// server drains gracefully: in-flight jobs are checkpointed to -state-dir
+// in the standard meshio format and resume — bitwise identically — when
+// the server restarts.
+//
+// Usage:
+//
+//	eul3dd -addr :8080 -state-dir /var/lib/eul3dd
+//
+//	curl -s localhost:8080/v1/solve -d '{"mesh":{"nx":16,"ny":8,"nz":6,"seed":17},
+//	    "mach":0.768,"alpha":1.116,"engine":"sm","workers":4,"cycles":200}'
+//	curl -s localhost:8080/v1/jobs/<id>
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"eul3d/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (host:0 picks a random port)")
+		queueCap     = flag.Int("queue-cap", 16, "queued jobs admitted before 429s")
+		runners      = flag.Int("runners", 2, "jobs solving concurrently")
+		workerBudget = flag.Int("worker-budget", 8, "total pooled workers across concurrent jobs")
+		cacheCap     = flag.Int("cache-cap", 4, "idle engines kept warm")
+		stateDir     = flag.String("state-dir", "", "drain checkpoints + resume sidecars (empty disables resume)")
+		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "grace period for SIGTERM drain")
+		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "eul3dd: ", log.LstdFlags)
+	if *quiet {
+		logger.SetOutput(io.Discard)
+	}
+	if *stateDir != "" {
+		if err := os.MkdirAll(*stateDir, 0o755); err != nil {
+			logger.Fatal(err)
+		}
+	}
+
+	sched := serve.NewScheduler(serve.Config{
+		QueueCap:     *queueCap,
+		Runners:      *runners,
+		WorkerBudget: *workerBudget,
+		CacheCap:     *cacheCap,
+		StateDir:     *stateDir,
+		Log:          logger,
+	})
+	if n, err := sched.Recover(); err != nil {
+		logger.Fatalf("recovering state dir: %v", err)
+	} else if n > 0 {
+		logger.Printf("resumed %d interrupted job(s) from %s", n, *stateDir)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// The listening line goes to stdout unconditionally so wrappers (and
+	// the smoke test) can discover a randomly chosen port.
+	fmt.Printf("eul3dd listening on %s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	srv := &http.Server{Handler: serve.NewAPI(sched).Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-sigc:
+		logger.Printf("%s: draining (checkpointing in-flight jobs)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		done := make(chan struct{})
+		go func() { sched.Drain(); close(done) }()
+		select {
+		case <-done:
+			logger.Printf("drain complete")
+		case <-ctx.Done():
+			logger.Printf("drain timed out after %s", *drainWait)
+		}
+		srv.Shutdown(ctx)
+		cancel()
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Fatal(err)
+		}
+	}
+}

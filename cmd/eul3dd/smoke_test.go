@@ -1,0 +1,243 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke is the end-to-end serving smoke test behind `make
+// serve-smoke`: build the eul3dd binary, start it on a random port, run a
+// small channel-mesh job to completion, check /metrics, then interrupt an
+// in-flight job with SIGTERM and verify the drain checkpoint resumes to
+// completion on restart.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), "eul3dd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building eul3dd: %v\n%s", err, out)
+	}
+	stateDir := t.TempDir()
+
+	srv := startServer(t, bin, stateDir)
+
+	// 1. A small shared-memory job runs to completion.
+	id := submit(t, srv.base, `{"mesh":{"nx":8,"ny":4,"nz":3,"seed":17},"mach":0.5,"alpha":1.0,
+		"engine":"sm","workers":2,"cycles":40}`)
+	v := pollUntil(t, srv.base, id, 30*time.Second, "completed")
+	if v.Cycles != 40 {
+		t.Fatalf("smoke job ran %d cycles, want 40", v.Cycles)
+	}
+
+	// 2. /metrics reflects the completed job and the governor cap.
+	body := httpGet(t, srv.base+"/metrics")
+	for _, want := range []string{
+		"eul3dd_jobs_completed_total 1",
+		"eul3dd_worker_budget 8",
+		"eul3dd_engine_builds_total 1",
+		"eul3dd_engine_mflops",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if m := regexp.MustCompile(`(?m)^eul3dd_workers_peak (\d+)`).FindStringSubmatch(body); m == nil {
+		t.Error("workers_peak missing from /metrics")
+	} else if peak, _ := strconv.Atoi(m[1]); peak > 8 {
+		t.Errorf("workers_peak %d exceeds budget 8", peak)
+	}
+
+	// 3. Start a longer job, let it make progress, SIGTERM the server.
+	longID := submit(t, srv.base, `{"mesh":{"nx":10,"ny":5,"nz":4,"seed":3},"mach":0.5,
+		"engine":"sm","workers":2,"cycles":3000}`)
+	waitProgress(t, srv.base, longID, 10)
+	if err := srv.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.wait(30 * time.Second); err != nil {
+		t.Fatalf("server did not exit cleanly after SIGTERM: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, longID+".ckpt")); err != nil {
+		t.Fatalf("drain checkpoint missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(stateDir, longID+".job.json")); err != nil {
+		t.Fatalf("drain sidecar missing: %v", err)
+	}
+
+	// 4. Restart on the same state dir: the job resumes under its ID and
+	// finishes all 3000 cycles.
+	srv2 := startServer(t, bin, stateDir)
+	v = pollUntil(t, srv2.base, longID, 120*time.Second, "completed")
+	if v.Cycles != 3000 {
+		t.Fatalf("resumed job ran %d cycles, want 3000", v.Cycles)
+	}
+	body = httpGet(t, srv2.base+"/metrics")
+	if !strings.Contains(body, "eul3dd_jobs_resumed_total 1") {
+		t.Errorf("restarted server does not report the resumed job:\n%s", body)
+	}
+	srv2.cmd.Process.Signal(syscall.SIGTERM)
+	srv2.wait(30 * time.Second)
+}
+
+type server struct {
+	cmd  *exec.Cmd
+	base string
+	done chan struct{} // closed when the process exits; exit error in err
+	err  error
+}
+
+func (s *server) wait(d time.Duration) error {
+	select {
+	case <-s.done:
+		return s.err
+	case <-time.After(d):
+		s.cmd.Process.Kill()
+		return fmt.Errorf("timeout after %s", d)
+	}
+}
+
+// startServer launches eul3dd on a random port and parses the port from
+// its "listening on" line.
+func startServer(t *testing.T, bin, stateDir string) *server {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state-dir", stateDir,
+		"-queue-cap", "8", "-runners", "2", "-worker-budget", "8")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{cmd: cmd, done: make(chan struct{})}
+	t.Cleanup(func() { cmd.Process.Kill(); <-s.done })
+	go func() { s.err = cmd.Wait(); close(s.done) }()
+
+	sc := bufio.NewScanner(stdout)
+	linec := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on") {
+				linec <- line
+				break
+			}
+		}
+		// Drain the rest so the child never blocks on a full pipe.
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case line := <-linec:
+		addr := line[strings.LastIndex(line, " ")+1:]
+		s.base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not announce its address")
+	}
+	// Wait for /healthz before use.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := http.Get(s.base + "/healthz"); err == nil {
+			resp.Body.Close()
+			return s
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+	return nil
+}
+
+type jobView struct {
+	ID     string `json:"id"`
+	State  string `json:"state"`
+	Cycles int    `json:"cycles"`
+	Error  string `json:"error"`
+}
+
+func submit(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/solve: %d %s", resp.StatusCode, b)
+	}
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+func getView(t *testing.T, base, id string) jobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v jobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func pollUntil(t *testing.T, base, id string, timeout time.Duration, want string) jobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var v jobView
+	for time.Now().Before(deadline) {
+		v = getView(t, base, id)
+		if v.State == want {
+			return v
+		}
+		if v.State == "failed" {
+			t.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %q (want %q)", id, v.State, want)
+	return v
+}
+
+func waitProgress(t *testing.T, base, id string, cycles int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if getView(t, base, id).Cycles >= cycles {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("job %s made no progress", id)
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}

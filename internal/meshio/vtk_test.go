@@ -1,0 +1,178 @@
+package meshio
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/geom"
+	"eul3d/internal/mesh"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// vtkMesh builds the reference unit tetrahedron used by the golden test:
+// small enough to eyeball the emitted file, deterministic by construction.
+func vtkMesh(t *testing.T) *mesh.Mesh {
+	t.Helper()
+	m := &mesh.Mesh{
+		X: []geom.Vec3{
+			{X: 0, Y: 0, Z: 0},
+			{X: 1, Y: 0, Z: 0},
+			{X: 0, Y: 1, Z: 0},
+			{X: 0, Y: 0, Z: 1},
+		},
+		Tets: [][4]int32{{0, 1, 2, 3}},
+	}
+	if err := m.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func vtkSol(g euler.Gas, n int) []euler.State {
+	sol := make([]euler.State, n)
+	for i := range sol {
+		// Distinct, exactly-representable primitives per vertex so the
+		// golden bytes are stable across platforms.
+		sol[i] = g.FromPrimitive(1+0.25*float64(i), 0.5, 0.125*float64(i), -0.25, 1+0.5*float64(i))
+	}
+	return sol
+}
+
+// The full writer output — mesh, flow scalars/vectors, and an extra vertex
+// field — matches the checked-in golden file byte for byte.
+func TestWriteVTKGolden(t *testing.T) {
+	m := vtkMesh(t)
+	g := euler.Air
+	sol := vtkSol(g, m.NV())
+	extra := []float64{0, 1, 1, 2}
+
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, g, sol, "part", extra); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "single_tet.vtk")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("VTK output drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The writer is deterministic: a second pass emits identical bytes.
+	var buf2 bytes.Buffer
+	if err := WriteVTK(&buf2, m, g, sol, "part", extra); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two writes of the same mesh differ")
+	}
+}
+
+// Mesh-only output (no solution, no extra field) carries the grid sections
+// and nothing else; an unnamed extra field falls back to "extra".
+func TestWriteVTKSections(t *testing.T) {
+	m := vtkMesh(t)
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, euler.Air, nil, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{"POINTS 4 double", "CELLS 1 5", "CELL_TYPES 1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("mesh-only output missing %q", want)
+		}
+	}
+	if strings.Contains(s, "POINT_DATA") {
+		t.Error("mesh-only output should have no POINT_DATA section")
+	}
+
+	buf.Reset()
+	if err := WriteVTK(&buf, m, euler.Air, nil, "", []float64{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SCALARS extra double 1") {
+		t.Error("unnamed extra field did not default to \"extra\"")
+	}
+}
+
+// Malformed inputs: field lengths that disagree with the vertex count are
+// rejected before anything is written.
+func TestWriteVTKBadLengths(t *testing.T) {
+	m := vtkMesh(t)
+	g := euler.Air
+
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, g, vtkSol(g, 3), "", nil); err == nil {
+		t.Error("short solution slice accepted")
+	} else if !strings.Contains(err.Error(), "3 states for 4 vertices") {
+		t.Errorf("unhelpful solution-length error: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Error("partial output written despite invalid solution")
+	}
+
+	if err := WriteVTK(&buf, m, g, nil, "part", []float64{1, 2}); err == nil {
+		t.Error("short extra slice accepted")
+	} else if !strings.Contains(err.Error(), "2 values for 4 vertices") {
+		t.Errorf("unhelpful extra-length error: %v", err)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+// Writer errors surface instead of being swallowed by the buffer.
+func TestWriteVTKWriterError(t *testing.T) {
+	m := vtkMesh(t)
+	err := WriteVTK(failWriter{}, m, euler.Air, nil, "", nil)
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Errorf("writer error lost: %v", err)
+	}
+}
+
+// SaveVTK round-trips through a real file and reports unwritable paths.
+func TestSaveVTK(t *testing.T) {
+	m := vtkMesh(t)
+	g := euler.Air
+	sol := vtkSol(g, m.NV())
+
+	path := filepath.Join(t.TempDir(), "out.vtk")
+	if err := SaveVTK(path, m, g, sol, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, m, g, sol, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(onDisk, buf.Bytes()) {
+		t.Error("SaveVTK file differs from WriteVTK bytes")
+	}
+
+	if err := SaveVTK(filepath.Join(t.TempDir(), "no", "such", "dir", "x.vtk"), m, g, nil, "", nil); err == nil {
+		t.Error("SaveVTK to a missing directory should fail")
+	}
+	if err := SaveVTK(path, m, g, vtkSol(g, 1), "", nil); err == nil {
+		t.Error("SaveVTK with a bad solution should fail")
+	}
+}

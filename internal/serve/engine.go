@@ -1,0 +1,27 @@
+package serve
+
+import (
+	"fmt"
+
+	"eul3d/internal/mesh"
+	"eul3d/internal/solver"
+)
+
+// buildEngine constructs the solver.Steady for a spec over its prebuilt
+// mesh sequence. The returned engine owns mesh, discretization, colorings
+// and (for pooled kinds) the parked worker pool — everything the cache
+// amortizes across jobs.
+func buildEngine(spec JobSpec, ms []*mesh.Mesh) (*solver.Steady, error) {
+	p := spec.Params()
+	switch spec.Engine {
+	case KindSingle:
+		return solver.NewSingleGrid(ms[0], p), nil
+	case KindSM:
+		return solver.NewSharedMemory(ms[0], p, spec.Workers)
+	case KindMG:
+		return solver.NewMultigrid(ms, p, spec.gamma())
+	case KindSMMG:
+		return solver.NewSharedMemoryMultigrid(ms, p, spec.gamma(), spec.Workers)
+	}
+	return nil, fmt.Errorf("serve: unknown engine %q", spec.Engine)
+}

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGovernorCapAndPeak(t *testing.T) {
+	g := NewGovernor(4)
+	ctx := context.Background()
+	if err := g.Acquire(ctx, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.InUse(); got != 4 {
+		t.Fatalf("in use %d, want 4", got)
+	}
+	g.Release(1)
+	g.Release(3)
+	if got := g.InUse(); got != 0 {
+		t.Fatalf("in use %d after release, want 0", got)
+	}
+	if got := g.Peak(); got != 4 {
+		t.Fatalf("peak %d, want 4", got)
+	}
+}
+
+func TestGovernorOverBudgetErrors(t *testing.T) {
+	g := NewGovernor(2)
+	if err := g.Acquire(context.Background(), 3); err == nil {
+		t.Fatal("acquiring more than the budget should fail immediately")
+	}
+}
+
+// The budget must never be exceeded even under concurrent contention, and
+// every blocked acquirer must eventually run.
+func TestGovernorNeverExceedsCapUnderContention(t *testing.T) {
+	const budget, jobs, each = 4, 16, 2
+	g := NewGovernor(budget)
+	var over atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := g.Acquire(context.Background(), each); err != nil {
+				t.Error(err)
+				return
+			}
+			if g.InUse() > budget {
+				over.Store(true)
+			}
+			time.Sleep(time.Millisecond)
+			g.Release(each)
+		}()
+	}
+	wg.Wait()
+	if over.Load() {
+		t.Fatal("governor exceeded its budget")
+	}
+	if p := g.Peak(); p > budget {
+		t.Fatalf("peak %d exceeds budget %d", p, budget)
+	}
+	if g.InUse() != 0 {
+		t.Fatalf("in use %d after all releases", g.InUse())
+	}
+}
+
+// A waiter whose context dies must be removed without consuming budget.
+func TestGovernorWaiterCancellation(t *testing.T) {
+	g := NewGovernor(2)
+	if err := g.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- g.Acquire(ctx, 1) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	if err := <-errc; err == nil {
+		t.Fatal("cancelled waiter should error")
+	}
+	g.Release(2)
+	// The cancelled waiter must not hold anything: the full budget is free.
+	if err := g.Acquire(context.Background(), 2); err != nil {
+		t.Fatal(err)
+	}
+	g.Release(2)
+}

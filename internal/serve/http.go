@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// API is the HTTP facade over a Scheduler:
+//
+//	POST   /v1/solve     submit a JobSpec; ?wait=1 (or "wait":true) blocks
+//	GET    /v1/jobs/{id} job status + residual history so far
+//	DELETE /v1/jobs/{id} cooperative cancellation
+//	GET    /healthz      liveness + drain state
+//	GET    /metrics      Prometheus-style text metrics
+type API struct {
+	s *Scheduler
+}
+
+// NewAPI wraps a scheduler.
+func NewAPI(s *Scheduler) *API { return &API{s: s} }
+
+// Handler builds the route table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", a.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancelJob)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// solveRequest is a JobSpec plus the synchronous-wait flag.
+type solveRequest struct {
+	JobSpec
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		req.Wait = true
+	}
+	j, err := a.s.Submit(req.JobSpec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, j.View())
+		return
+	}
+	select {
+	case <-j.Done():
+		writeJSON(w, http.StatusOK, j.View())
+	case <-r.Context().Done():
+		// The client went away; the job keeps running and stays pollable.
+		writeJSON(w, http.StatusAccepted, j.View())
+	}
+}
+
+func (a *API) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := a.s.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (a *API) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := a.s.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if a.s.Draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":  status,
+		"queued":  a.s.QueueDepth(),
+		"running": a.s.Running(),
+	})
+}
+
+// handleMetrics renders the service metrics in the Prometheus text
+// exposition format (hand-rolled: no client library in the module).
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	m := a.s.Metrics()
+	gov := a.s.Governor()
+
+	gauge := func(name string, v any, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name string, v int64, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("eul3dd_queue_depth", a.s.QueueDepth(), "jobs waiting for a runner")
+	gauge("eul3dd_jobs_running", a.s.Running(), "jobs currently solving")
+	counter("eul3dd_jobs_submitted_total", m.Submitted.Load(), "jobs admitted")
+	counter("eul3dd_jobs_rejected_total", m.Rejected.Load(), "jobs refused admission (queue full)")
+	counter("eul3dd_jobs_completed_total", m.Completed.Load(), "jobs run to completion")
+	counter("eul3dd_jobs_failed_total", m.Failed.Load(), "jobs failed (error or divergence)")
+	counter("eul3dd_jobs_cancelled_total", m.Cancelled.Load(), "jobs cancelled by clients")
+	counter("eul3dd_jobs_expired_total", m.Expired.Load(), "jobs past their deadline")
+	counter("eul3dd_jobs_drained_total", m.Drained.Load(), "jobs checkpointed by graceful drain")
+	counter("eul3dd_jobs_resumed_total", m.Resumed.Load(), "jobs resumed from drain checkpoints")
+	counter("eul3dd_engine_cache_hits_total", m.CacheHits.Load(), "engine cache hits")
+	counter("eul3dd_engine_cache_misses_total", m.CacheMisses.Load(), "engine cache misses")
+	counter("eul3dd_engine_builds_total", m.Builds.Load(), "engine constructions performed")
+	counter("eul3dd_engine_evictions_total", m.Evictions.Load(), "engines closed by LRU eviction")
+	gauge("eul3dd_engine_cache_hit_rate", fmt.Sprintf("%.4f", m.HitRate()), "cache hit fraction")
+	gauge("eul3dd_engine_cache_size", a.s.Cache().Len(), "engines resident in the cache")
+	gauge("eul3dd_worker_budget", gov.Cap(), "total pooled-worker budget")
+	gauge("eul3dd_workers_in_use", gov.InUse(), "pooled workers held by running jobs")
+	gauge("eul3dd_workers_peak", gov.Peak(), "high-water mark of pooled workers in use")
+
+	// Per-engine computational rates from the accumulated perf.Stats.
+	fmt.Fprintf(&b, "# HELP eul3dd_engine_mflops analytic Mflops per cached engine\n# TYPE eul3dd_engine_mflops gauge\n")
+	stats := a.s.Cache().EngineStats()
+	keys := make([]string, 0, len(stats))
+	for k := range stats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		total := stats[k].Total()
+		fmt.Fprintf(&b, "eul3dd_engine_mflops{engine=%q} %.1f\n", k, total.Mflops())
+		fmt.Fprintf(&b, "eul3dd_engine_seconds{engine=%q} %.4f\n", k, total.Seconds)
+	}
+	w.Write([]byte(b.String()))
+}

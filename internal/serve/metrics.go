@@ -1,0 +1,32 @@
+package serve
+
+import "sync/atomic"
+
+// Metrics holds the service counters. All fields are atomic so job
+// runners, HTTP handlers and the drain path update them without locks;
+// gauges (queue depth, workers in use) are read live from their owners
+// when the snapshot is rendered.
+type Metrics struct {
+	Submitted atomic.Int64 // admitted into the queue
+	Rejected  atomic.Int64 // refused admission (queue full)
+	Completed atomic.Int64 // ran to MaxCycles or converged
+	Failed    atomic.Int64 // run error or diverged
+	Cancelled atomic.Int64 // cancelled by the client
+	Expired   atomic.Int64 // deadline passed (queued or running)
+	Drained   atomic.Int64 // checkpointed by a graceful drain
+	Resumed   atomic.Int64 // re-enqueued from a drain checkpoint at startup
+
+	CacheHits   atomic.Int64 // engine served from the cache
+	CacheMisses atomic.Int64 // engine built (or waited on a shared build)
+	Builds      atomic.Int64 // engine constructions actually performed
+	Evictions   atomic.Int64 // engines closed by LRU eviction
+}
+
+// HitRate returns the engine-cache hit fraction (0 when no lookups yet).
+func (m *Metrics) HitRate() float64 {
+	h, s := m.CacheHits.Load(), m.CacheMisses.Load()
+	if h+s == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+s)
+}

@@ -1,0 +1,706 @@
+package serve
+
+import (
+	"container/heap"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/meshio"
+	"eul3d/internal/solver"
+)
+
+// Admission and lifecycle errors surfaced to the HTTP layer.
+var (
+	ErrQueueFull  = errors.New("serve: queue full")
+	ErrDraining   = errors.New("serve: draining, not accepting jobs")
+	ErrNotFound   = errors.New("serve: no such job")
+	errClientStop = errors.New("serve: cancelled by client")
+	errDrainStop  = errors.New("serve: drained")
+)
+
+// JobState is the lifecycle phase of a job.
+type JobState string
+
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateCompleted JobState = "completed"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+	StateExpired   JobState = "expired"
+	StateDrained   JobState = "drained" // checkpointed by a graceful drain; resumes on restart
+)
+
+// Job is one tracked solve request.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	mu       sync.Mutex
+	state    JobState
+	history  []float64
+	errMsg   string
+	result   *solver.Result
+	key      EngineKey
+	keySet   bool
+	built    bool // this job performed the engine construction (cache miss)
+	enqueued time.Time
+	deadline time.Time // zero when the job has no deadline
+
+	seq    int64 // admission order, FIFO tiebreak within a priority
+	cancel context.CancelCauseFunc
+	ctx    context.Context
+	done   chan struct{} // closed when the job leaves the queue/runner for good
+	resume *meshio.Checkpoint
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobView is the externally visible snapshot of a job.
+type JobView struct {
+	ID          string    `json:"id"`
+	State       JobState  `json:"state"`
+	Spec        JobSpec   `json:"spec"`
+	Cycles      int       `json:"cycles"`
+	History     []float64 `json:"history,omitempty"`
+	InitialNorm float64   `json:"initial_norm,omitempty"`
+	FinalNorm   float64   `json:"final_norm,omitempty"`
+	Orders      float64   `json:"orders,omitempty"`
+	Converged   bool      `json:"converged,omitempty"`
+	Error       string    `json:"error,omitempty"`
+	Engine      string    `json:"engine_key,omitempty"`
+	CacheHit    *bool     `json:"cache_hit,omitempty"`
+}
+
+// View snapshots the job.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:      j.ID,
+		State:   j.state,
+		Spec:    j.Spec,
+		Cycles:  len(j.history),
+		History: append([]float64(nil), j.history...),
+		Error:   j.errMsg,
+	}
+	if j.keySet {
+		v.Engine = j.key.String()
+		hit := !j.built
+		v.CacheHit = &hit
+	}
+	if n := len(j.history); n > 0 {
+		v.InitialNorm = j.history[0]
+		v.FinalNorm = j.history[n-1]
+	}
+	if r := j.result; r != nil {
+		v.Converged = r.Converged
+		v.Orders = r.Ordersof10
+	}
+	return v
+}
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// jobQueue is a max-heap on (priority, admission order).
+type jobQueue []*Job
+
+func (q jobQueue) Len() int { return len(q) }
+func (q jobQueue) Less(a, b int) bool {
+	if q[a].Spec.Priority != q[b].Spec.Priority {
+		return q[a].Spec.Priority > q[b].Spec.Priority
+	}
+	return q[a].seq < q[b].seq
+}
+func (q jobQueue) Swap(a, b int)      { q[a], q[b] = q[b], q[a] }
+func (q *jobQueue) Push(x any)        { *q = append(*q, x.(*Job)) }
+func (q *jobQueue) Pop() any          { old := *q; n := len(old); x := old[n-1]; old[n-1] = nil; *q = old[:n-1]; return x }
+
+// Config sizes a Scheduler.
+type Config struct {
+	QueueCap     int    // pending jobs admitted before 429s (default 16)
+	Runners      int    // jobs solving concurrently (default 2)
+	WorkerBudget int    // total pooled workers across concurrent jobs (default 8)
+	CacheCap     int    // idle engines kept warm (default 4)
+	StateDir     string // drain checkpoints + resume sidecars ("" disables)
+	Log          *log.Logger
+}
+
+func (c *Config) fill() {
+	if c.QueueCap <= 0 {
+		c.QueueCap = 16
+	}
+	if c.Runners <= 0 {
+		c.Runners = 2
+	}
+	if c.WorkerBudget <= 0 {
+		c.WorkerBudget = 8
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 4
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+}
+
+// Scheduler multiplexes solve jobs over cached engines: bounded admission,
+// priority dispatch, deadlines, cooperative cancellation, and graceful
+// drain with checkpoint/resume.
+type Scheduler struct {
+	cfg   Config
+	cache *Cache
+	gov   *Governor
+	met   *Metrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    jobQueue
+	jobs     map[string]*Job
+	seq      int64
+	draining bool
+	stopped  bool
+	running  int
+
+	wg sync.WaitGroup
+}
+
+// NewScheduler builds a scheduler and starts its runner goroutines.
+func NewScheduler(cfg Config) *Scheduler {
+	cfg.fill()
+	met := &Metrics{}
+	s := &Scheduler{
+		cfg:   cfg,
+		met:   met,
+		cache: NewCache(cfg.CacheCap, met),
+		gov:   NewGovernor(cfg.WorkerBudget),
+		jobs:  make(map[string]*Job),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Metrics returns the scheduler's counter block.
+func (s *Scheduler) Metrics() *Metrics { return s.met }
+
+// Governor returns the worker-budget governor (for gauges).
+func (s *Scheduler) Governor() *Governor { return s.gov }
+
+// Cache returns the engine cache (for gauges and per-engine stats).
+func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// QueueDepth returns the number of jobs waiting for a runner.
+func (s *Scheduler) QueueDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Running returns the number of jobs currently on a runner.
+func (s *Scheduler) Running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.running
+}
+
+// Draining reports whether a graceful drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func newJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// Submit validates and admits a job. It returns ErrQueueFull when the
+// bounded queue is at capacity (the HTTP layer maps that to 429) and
+// ErrDraining once a graceful drain has begun (503).
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.pooledWorkers() > s.gov.Cap() {
+		return nil, fmt.Errorf("serve: job wants %d workers, budget is %d", spec.pooledWorkers(), s.gov.Cap())
+	}
+	return s.admit(&Job{ID: newJobID(), Spec: spec})
+}
+
+// admit enqueues a prepared job (fresh or recovered).
+func (s *Scheduler) admit(j *Job) (*Job, error) {
+	s.mu.Lock()
+	if s.draining || s.stopped {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if len(s.queue) >= s.cfg.QueueCap {
+		s.mu.Unlock()
+		s.met.Rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	j.state = StateQueued
+	j.enqueued = time.Now()
+	if j.Spec.DeadlineMS > 0 {
+		j.deadline = j.enqueued.Add(time.Duration(j.Spec.DeadlineMS) * time.Millisecond)
+	}
+	j.done = make(chan struct{})
+	ctx, cancel := context.WithCancelCause(context.Background())
+	j.ctx, j.cancel = ctx, cancel
+	s.seq++
+	j.seq = s.seq
+	heap.Push(&s.queue, j)
+	s.jobs[j.ID] = j
+	s.met.Submitted.Add(1)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (s *Scheduler) Job(id string) (*Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel requests cooperative cancellation of a queued or running job.
+func (s *Scheduler) Cancel(id string) (*Job, error) {
+	j, err := s.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.cancel(errClientStop)
+	return j, nil
+}
+
+// runner is one dispatch loop: pop the highest-priority job, run it.
+func (s *Scheduler) runner() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.stopped {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.stopped {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*Job)
+		s.running++
+		s.mu.Unlock()
+
+		s.dispatch(j)
+
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// dispatch runs one popped job through its terminal state.
+func (s *Scheduler) dispatch(j *Job) {
+	defer close(j.done)
+	defer j.cancel(nil)
+
+	// Cancelled or expired while still queued?
+	if err := context.Cause(j.ctx); err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	if !j.deadline.IsZero() && time.Now().After(j.deadline) {
+		s.finish(j, nil, context.DeadlineExceeded)
+		return
+	}
+
+	j.mu.Lock()
+	j.state = StateRunning
+	if j.resume != nil {
+		j.history = append(j.history[:0], j.resume.History...)
+	}
+	j.mu.Unlock()
+
+	ctx := j.ctx
+	if !j.deadline.IsZero() {
+		dctx, dcancel := context.WithDeadline(ctx, j.deadline)
+		defer dcancel()
+		ctx = dctx
+	}
+
+	ms, err := j.Spec.BuildMeshes()
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	key := j.Spec.Key(ms)
+	j.mu.Lock()
+	j.key, j.keySet = key, true
+	j.mu.Unlock()
+
+	nw := j.Spec.pooledWorkers()
+	if err := s.gov.Acquire(ctx, nw); err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			err = cause
+		}
+		s.finish(j, nil, err)
+		return
+	}
+	defer s.gov.Release(nw)
+
+	eng, err := s.cache.Acquire(ctx, key, func() (*solver.Steady, error) {
+		j.mu.Lock()
+		j.built = true
+		j.mu.Unlock()
+		return buildEngine(j.Spec, ms)
+	})
+	if err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			err = cause
+		}
+		s.finish(j, nil, err)
+		return
+	}
+	defer s.cache.Release(eng)
+
+	st := eng.Steady()
+	st.Reset()
+	if j.resume != nil {
+		if err := st.Restore(j.resume); err != nil {
+			s.finish(j, nil, fmt.Errorf("restoring checkpoint: %w", err))
+			return
+		}
+	}
+	res, err := st.Run(solver.Options{
+		MaxCycles: j.Spec.Cycles,
+		Tolerance: j.Spec.Tol,
+		Context:   ctx,
+		Progress: func(cycle int, norm float64) {
+			j.mu.Lock()
+			j.history = append(j.history, norm)
+			j.mu.Unlock()
+		},
+	})
+	if err != nil {
+		s.finish(j, nil, err)
+		return
+	}
+	if res.Cancelled {
+		cause := context.Cause(ctx)
+		if errors.Is(cause, errDrainStop) {
+			s.drainCheckpoint(j, st, res)
+			return
+		}
+		s.finish(j, res, cause)
+		return
+	}
+	if i, v, diverged := divergedAt(res.History); diverged {
+		s.finish(j, res, fmt.Errorf("diverged: residual %g at cycle %d", v, i))
+		return
+	}
+	s.finish(j, res, nil)
+}
+
+// divergedAt scans a residual history for NaN/Inf.
+func divergedAt(hist []float64) (int, float64, bool) {
+	for i, v := range hist {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return i, v, true
+		}
+	}
+	return 0, 0, false
+}
+
+// finish records a job's terminal state from its run outcome.
+func (s *Scheduler) finish(j *Job, res *solver.Result, err error) {
+	if errors.Is(err, errDrainStop) {
+		// Drained before any cycle ran: persist the spec alone so the job
+		// restarts from scratch after the server comes back.
+		s.suspend(j, res)
+		return
+	}
+	var state JobState
+	j.mu.Lock()
+	j.result = res
+	switch {
+	case err == nil:
+		j.state = StateCompleted
+		s.met.Completed.Add(1)
+	case errors.Is(err, errClientStop), errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		s.met.Cancelled.Add(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		j.state = StateExpired
+		j.errMsg = "deadline exceeded"
+		s.met.Expired.Add(1)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+		s.met.Failed.Add(1)
+	}
+	state = j.state
+	j.mu.Unlock()
+	s.removeStateFiles(j.ID)
+	s.cfg.Log.Printf("job %s: %s", j.ID, state)
+}
+
+// suspend marks a job drained with only its spec persisted (no cycles ran,
+// so there is nothing to checkpoint).
+func (s *Scheduler) suspend(j *Job, res *solver.Result) {
+	if s.cfg.StateDir != "" {
+		if err := s.writeSidecar(sidecar{ID: j.ID, Spec: j.Spec}); err != nil {
+			s.cfg.Log.Printf("drain: persisting job %s: %v", j.ID, err)
+		}
+	}
+	j.mu.Lock()
+	j.state = StateDrained
+	j.result = res
+	j.mu.Unlock()
+	s.met.Drained.Add(1)
+	s.cfg.Log.Printf("job %s: drained (not started)", j.ID)
+}
+
+// --- graceful drain & resume ---------------------------------------------
+
+// sidecar is the restart record persisted per interrupted job.
+type sidecar struct {
+	ID         string  `json:"id"`
+	Spec       JobSpec `json:"spec"`
+	Checkpoint string  `json:"checkpoint,omitempty"` // file name within StateDir
+}
+
+func (s *Scheduler) sidecarPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+".job.json")
+}
+func (s *Scheduler) ckptPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+".ckpt")
+}
+
+func (s *Scheduler) removeStateFiles(id string) {
+	if s.cfg.StateDir == "" {
+		return
+	}
+	os.Remove(s.sidecarPath(id))
+	os.Remove(s.ckptPath(id))
+}
+
+// drainCheckpoint persists an interrupted job so a restarted server can
+// resume it: the partial solution as a CRC-trailered meshio checkpoint
+// plus a JSON sidecar with the spec. The checkpointed solution is copied —
+// the engine is released back to the cache and would otherwise mutate it.
+func (s *Scheduler) drainCheckpoint(j *Job, st *solver.Steady, res *solver.Result) {
+	if s.cfg.StateDir == "" {
+		s.finish(j, res, errDrainStop)
+		return
+	}
+	sc := sidecar{ID: j.ID, Spec: j.Spec}
+	if res.Cycles > 0 {
+		ck := &meshio.Checkpoint{
+			Cycle:    res.Cycles,
+			Mach:     j.Spec.Mach,
+			AlphaDeg: j.Spec.AlphaDeg,
+			CFL:      j.Spec.Params().CFL,
+			History:  append([]float64(nil), res.History...),
+			Sol:      append([]euler.State(nil), res.FineSolution...),
+		}
+		if err := meshio.SaveCheckpoint(s.ckptPath(j.ID), ck); err != nil {
+			s.finish(j, res, fmt.Errorf("drain checkpoint: %w", err))
+			return
+		}
+		sc.Checkpoint = j.ID + ".ckpt"
+	}
+	if err := s.writeSidecar(sc); err != nil {
+		s.finish(j, res, fmt.Errorf("drain sidecar: %w", err))
+		return
+	}
+	j.mu.Lock()
+	j.state = StateDrained
+	j.result = res
+	j.mu.Unlock()
+	s.met.Drained.Add(1)
+	s.cfg.Log.Printf("job %s: drained at cycle %d", j.ID, res.Cycles)
+}
+
+func (s *Scheduler) writeSidecar(sc sidecar) error {
+	b, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.sidecarPath(sc.ID) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.sidecarPath(sc.ID))
+}
+
+// Drain gracefully shuts the scheduler down: admission stops, queued jobs
+// are persisted as restart sidecars, running jobs are cancelled
+// cooperatively and checkpointed, and Drain returns when every runner has
+// parked. After Drain the scheduler is stopped for good.
+func (s *Scheduler) Drain() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	queued := make([]*Job, len(s.queue))
+	copy(queued, s.queue)
+	s.queue = s.queue[:0]
+	inQueue := make(map[string]bool, len(queued))
+	for _, j := range queued {
+		inQueue[j.ID] = true
+	}
+	// Cancel every job a runner holds — including ones popped from the
+	// queue but not yet marked running (their dispatch preamble sees the
+	// drain cause and suspends them).
+	var active []*Job
+	for _, j := range s.jobs {
+		if inQueue[j.ID] {
+			continue
+		}
+		if st := j.State(); st == StateQueued || st == StateRunning {
+			active = append(active, j)
+		}
+	}
+	s.stopped = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	for _, j := range queued {
+		if s.cfg.StateDir != "" {
+			if err := s.writeSidecar(sidecar{ID: j.ID, Spec: j.Spec}); err != nil {
+				s.cfg.Log.Printf("drain: persisting queued job %s: %v", j.ID, err)
+			}
+		}
+		j.mu.Lock()
+		j.state = StateDrained
+		j.mu.Unlock()
+		s.met.Drained.Add(1)
+		j.cancel(errDrainStop)
+		close(j.done)
+	}
+	for _, j := range active {
+		j.cancel(errDrainStop)
+	}
+	s.wg.Wait()
+	s.cache.Close()
+}
+
+// Stop aborts without persisting: running jobs are cancelled as if by the
+// client and queued jobs are discarded. For tests.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining, s.stopped = true, true
+	queued := make([]*Job, len(s.queue))
+	copy(queued, s.queue)
+	s.queue = s.queue[:0]
+	var all []*Job
+	for _, j := range s.jobs {
+		all = append(all, j)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, j := range queued {
+		j.mu.Lock()
+		j.state = StateCancelled
+		j.mu.Unlock()
+		j.cancel(errClientStop)
+		close(j.done)
+	}
+	for _, j := range all {
+		j.cancel(errClientStop)
+	}
+	s.wg.Wait()
+	s.cache.Close()
+}
+
+// Recover scans StateDir for drain sidecars and re-admits each job under
+// its original ID, restoring the checkpointed solution when one exists.
+// Because the solver is deterministic, a resumed run's history and
+// solution are bitwise identical to an uninterrupted one.
+func (s *Scheduler) Recover() (int, error) {
+	if s.cfg.StateDir == "" {
+		return 0, nil
+	}
+	ents, err := os.ReadDir(s.cfg.StateDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, ent := range ents {
+		if !strings.HasSuffix(ent.Name(), ".job.json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(s.cfg.StateDir, ent.Name()))
+		if err != nil {
+			s.cfg.Log.Printf("recover: %s: %v", ent.Name(), err)
+			continue
+		}
+		var sc sidecar
+		if err := json.Unmarshal(b, &sc); err != nil {
+			s.cfg.Log.Printf("recover: %s: %v", ent.Name(), err)
+			continue
+		}
+		j := &Job{ID: sc.ID, Spec: sc.Spec}
+		if sc.Checkpoint != "" {
+			ck, err := meshio.LoadCheckpoint(filepath.Join(s.cfg.StateDir, sc.Checkpoint))
+			if err != nil {
+				s.cfg.Log.Printf("recover: job %s checkpoint: %v (restarting from scratch)", sc.ID, err)
+			} else {
+				j.resume = ck
+			}
+		}
+		if err := j.Spec.Validate(); err != nil {
+			s.cfg.Log.Printf("recover: job %s: %v", sc.ID, err)
+			s.removeStateFiles(sc.ID)
+			continue
+		}
+		if _, err := s.admit(j); err != nil {
+			s.cfg.Log.Printf("recover: job %s: %v", sc.ID, err)
+			continue
+		}
+		s.met.Resumed.Add(1)
+		n++
+	}
+	return n, nil
+}

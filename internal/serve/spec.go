@@ -1,0 +1,229 @@
+// Package serve turns the steady-state solver into a multi-tenant
+// service: a bounded-queue job scheduler with priorities, deadlines,
+// admission control and cooperative cancellation; an engine cache that
+// keys prebuilt solver.Steady engines (mesh + discretization + colorings +
+// parked worker pool) by mesh-content hash, so concurrent requests for the
+// same mesh share one build and repeat requests pay zero setup; and a
+// worker-budget governor that caps the total pooled workers running at any
+// instant across concurrent shared-memory jobs. cmd/eul3dd exposes the
+// scheduler over HTTP.
+//
+// The paper's workflow was batch — preprocess once, solve once. This
+// package is the first layer that treats a solve as a request: engines are
+// long-lived and shared, jobs are queued, observed mid-flight, cancelled,
+// checkpointed on drain and resumed on restart. Per-job results remain
+// bitwise deterministic: an engine is leased to exactly one job at a time
+// and Reset (or Restore) before every run.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"math"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+	"eul3d/internal/meshgen"
+	"eul3d/internal/meshio"
+)
+
+// Engine kinds selectable per job.
+const (
+	KindSingle = "single" // sequential single grid
+	KindSM     = "sm"     // shared-memory worker pool, single grid
+	KindMG     = "mg"     // sequential FAS multigrid
+	KindSMMG   = "smmg"   // pooled FAS multigrid
+)
+
+// MeshSpec names the mesh a job runs on: either a generated bump-channel
+// mesh (NX/NY/NZ/Seed, the repository's standard geometry) or a mesh file
+// written by cmd/meshgen (Path; Path is a per-level prefix for multigrid
+// kinds, as in eul3d -mesh-prefix). The engine cache keys on the mesh
+// *content*, not on this spec, so a generated mesh and an identical file
+// share an engine.
+type MeshSpec struct {
+	NX   int    `json:"nx,omitempty"`
+	NY   int    `json:"ny,omitempty"`
+	NZ   int    `json:"nz,omitempty"`
+	Seed int64  `json:"seed,omitempty"`
+	Path string `json:"path,omitempty"`
+}
+
+// JobSpec is one solve request.
+type JobSpec struct {
+	Mesh     MeshSpec `json:"mesh"`
+	Mach     float64  `json:"mach"`
+	AlphaDeg float64  `json:"alpha"`
+
+	Engine  string `json:"engine,omitempty"`  // single | sm | mg | smmg (default single)
+	Workers int    `json:"workers,omitempty"` // pooled kinds: worker-pool size (default 2)
+	Levels  int    `json:"levels,omitempty"`  // multigrid kinds: grid levels (default 3)
+	Cycle   string `json:"cycle,omitempty"`   // multigrid kinds: "v" or "w" (default "w")
+
+	Cycles int     `json:"cycles"`        // MaxCycles for the run
+	Tol    float64 `json:"tol,omitempty"` // relative residual tolerance (0 = run all cycles)
+
+	Priority   int   `json:"priority,omitempty"`    // higher runs first; FIFO within a priority
+	DeadlineMS int64 `json:"deadline_ms,omitempty"` // wall-clock budget from submission (0 = none)
+}
+
+// MaxCyclesLimit caps per-job cycle counts so one request cannot occupy a
+// runner indefinitely.
+const MaxCyclesLimit = 1 << 20
+
+// Validate normalizes defaults in place and rejects malformed specs.
+func (s *JobSpec) Validate() error {
+	if s.Engine == "" {
+		s.Engine = KindSingle
+	}
+	switch s.Engine {
+	case KindSingle, KindMG:
+		s.Workers = 0
+	case KindSM, KindSMMG:
+		if s.Workers == 0 {
+			s.Workers = 2
+		}
+		if s.Workers < 1 || s.Workers > 256 {
+			return fmt.Errorf("serve: workers %d out of range [1,256]", s.Workers)
+		}
+	default:
+		return fmt.Errorf("serve: unknown engine %q (want single, sm, mg or smmg)", s.Engine)
+	}
+	switch s.Engine {
+	case KindMG, KindSMMG:
+		if s.Levels == 0 {
+			s.Levels = 3
+		}
+		if s.Levels < 2 || s.Levels > 8 {
+			return fmt.Errorf("serve: levels %d out of range [2,8]", s.Levels)
+		}
+		switch s.Cycle {
+		case "":
+			s.Cycle = "w"
+		case "v", "w":
+		default:
+			return fmt.Errorf("serve: unknown cycle %q (want v or w)", s.Cycle)
+		}
+	default:
+		s.Levels, s.Cycle = 1, ""
+	}
+	if s.Mesh.Path == "" {
+		if s.Mesh.NX < 1 || s.Mesh.NY < 1 || s.Mesh.NZ < 1 {
+			return fmt.Errorf("serve: mesh dimensions %dx%dx%d must be positive", s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ)
+		}
+		if s.Mesh.NX*s.Mesh.NY*s.Mesh.NZ > 1<<22 {
+			return fmt.Errorf("serve: mesh %dx%dx%d too large", s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ)
+		}
+	}
+	if s.Cycles < 1 || s.Cycles > MaxCyclesLimit {
+		return fmt.Errorf("serve: cycles %d out of range [1,%d]", s.Cycles, MaxCyclesLimit)
+	}
+	if s.Tol < 0 || math.IsNaN(s.Tol) {
+		return fmt.Errorf("serve: negative tolerance %g", s.Tol)
+	}
+	if s.DeadlineMS < 0 {
+		return fmt.Errorf("serve: negative deadline %d", s.DeadlineMS)
+	}
+	if math.IsNaN(s.Mach) || math.IsInf(s.Mach, 0) || s.Mach < 0 || s.Mach > 20 {
+		return fmt.Errorf("serve: implausible Mach %g", s.Mach)
+	}
+	return nil
+}
+
+// gamma returns the multigrid cycle index (0 for single-grid kinds).
+func (s *JobSpec) gamma() int {
+	switch s.Cycle {
+	case "v":
+		return 1
+	case "w":
+		return 2
+	}
+	return 0
+}
+
+// pooledWorkers is the worker count charged to the budget governor while
+// the job runs (0 for sequential kinds).
+func (s *JobSpec) pooledWorkers() int { return s.Workers }
+
+// Params builds the numerical parameter set for the job.
+func (s *JobSpec) Params() euler.Params { return euler.DefaultParams(s.Mach, s.AlphaDeg) }
+
+// BuildMeshes generates or loads the job's mesh sequence (finest first;
+// one level for single-grid kinds).
+func (s *JobSpec) BuildMeshes() ([]*mesh.Mesh, error) {
+	if s.Mesh.Path != "" {
+		out := make([]*mesh.Mesh, s.Levels)
+		for l := 0; l < s.Levels; l++ {
+			path := s.Mesh.Path
+			if s.Levels > 1 {
+				path = fmt.Sprintf("%s.L%d.mesh", s.Mesh.Path, l)
+			}
+			m, err := meshio.LoadMesh(path)
+			if err != nil {
+				return nil, err
+			}
+			out[l] = m
+		}
+		return out, nil
+	}
+	spec := meshgen.DefaultChannel(s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ, s.Mesh.Seed)
+	return meshgen.Sequence(spec, s.Levels)
+}
+
+// EngineKey identifies a cached engine: the mesh-content + parameter hash,
+// the engine kind, and the pool size (which fixes the chunk tables).
+type EngineKey struct {
+	Sum     [sha256.Size]byte
+	Kind    string
+	Workers int
+}
+
+// String renders a short stable form for logs and metrics labels.
+func (k EngineKey) String() string {
+	return fmt.Sprintf("%s/%d/%x", k.Kind, k.Workers, k.Sum[:6])
+}
+
+// Key derives the engine-cache key for the given mesh sequence under this
+// spec. Two specs that produce bitwise-identical meshes and numerical
+// parameters share a key (and therefore an engine).
+func (s *JobSpec) Key(ms []*mesh.Mesh) EngineKey {
+	h := sha256.New()
+	for _, m := range ms {
+		hashMesh(h, m)
+	}
+	p := s.Params()
+	// The parameter set contains only numeric fields and a fixed-length
+	// stage table; its printed form is a stable content fingerprint.
+	fmt.Fprintf(h, "|params=%v|gamma=%d", p, s.gamma())
+	k := EngineKey{Kind: s.Engine, Workers: s.Workers}
+	h.Sum(k.Sum[:0])
+	return k
+}
+
+// hashMesh folds the mesh content — coordinates, connectivity, boundary
+// faces and kinds — into h. Derived edge structure is a function of these.
+func hashMesh(h hash.Hash, m *mesh.Mesh) {
+	var buf [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putU64(uint64(m.NV()))
+	for _, x := range m.X {
+		putU64(math.Float64bits(x.X))
+		putU64(math.Float64bits(x.Y))
+		putU64(math.Float64bits(x.Z))
+	}
+	putU64(uint64(m.NT()))
+	for _, t := range m.Tets {
+		putU64(uint64(uint32(t[0]))<<32 | uint64(uint32(t[1])))
+		putU64(uint64(uint32(t[2]))<<32 | uint64(uint32(t[3])))
+	}
+	putU64(uint64(len(m.BFaces)))
+	for _, f := range m.BFaces {
+		putU64(uint64(uint32(f.V[0]))<<32 | uint64(uint32(f.V[1])))
+		putU64(uint64(uint32(f.V[2]))<<32 | uint64(f.Kind))
+	}
+}

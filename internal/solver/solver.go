@@ -5,9 +5,11 @@
 package solver
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 
 	"eul3d/internal/euler"
@@ -36,6 +38,17 @@ type Options struct {
 	CheckpointPath  string
 	Mach            float64
 	AlphaDeg        float64
+
+	// Context, when non-nil, is checked before every cycle: once it is
+	// cancelled (or its deadline passes) Run stops and returns the partial
+	// Result with Cancelled set and a nil error. A nil Context reproduces
+	// the uncancellable behaviour exactly.
+	Context context.Context
+
+	// Progress, when non-nil, is invoked after every completed cycle with
+	// the cycle index and its residual norm. It runs on the solver
+	// goroutine, so long callbacks slow the solve.
+	Progress func(cycle int, norm float64)
 }
 
 // Result summarizes a run.
@@ -45,6 +58,7 @@ type Result struct {
 	InitialNorm  float64
 	FinalNorm    float64
 	Converged    bool
+	Cancelled    bool // Options.Context was cancelled before the run finished
 	Ordersof10   float64
 	FineSolution []euler.State
 }
@@ -54,6 +68,7 @@ type stepper interface {
 	cycle() float64
 	solution() []euler.State
 	stats() perf.Stats
+	initUniform()
 }
 
 type singleStepper struct {
@@ -72,12 +87,14 @@ func (s *singleStepper) cycle() float64 {
 }
 func (s *singleStepper) solution() []euler.State { return s.w }
 func (s *singleStepper) stats() perf.Stats       { return s.acc.Stats() }
+func (s *singleStepper) initUniform()            { s.d.InitUniform(s.w) }
 
 type mgStepper struct{ mg *multigrid.Solver }
 
 func (s *mgStepper) cycle() float64          { return s.mg.Cycle() }
 func (s *mgStepper) solution() []euler.State { return s.mg.Fine().W }
 func (s *mgStepper) stats() perf.Stats       { return s.mg.Stats() }
+func (s *mgStepper) initUniform()            { s.mg.InitUniform() }
 
 type smStepper struct {
 	sm *smsolver.Solver
@@ -87,6 +104,7 @@ type smStepper struct {
 func (s *smStepper) cycle() float64          { return s.sm.Step(s.w, nil) }
 func (s *smStepper) solution() []euler.State { return s.w }
 func (s *smStepper) stats() perf.Stats       { return s.sm.Stats() }
+func (s *smStepper) initUniform()            { s.sm.InitUniform(s.w) }
 
 // NewSingleGrid builds a single-grid steady solver over m.
 func NewSingleGrid(m *mesh.Mesh, p euler.Params) *Steady {
@@ -121,6 +139,7 @@ type smgStepper struct{ mg *smsolver.Multigrid }
 func (s *smgStepper) cycle() float64          { return s.mg.Cycle() }
 func (s *smgStepper) solution() []euler.State { return s.mg.Fine().W }
 func (s *smgStepper) stats() perf.Stats       { return s.mg.Stats() }
+func (s *smgStepper) initUniform()            { s.mg.InitUniform() }
 
 // NewSharedMemoryMultigrid builds a multigrid steady solver over the mesh
 // sequence (finest first) with cycle index gamma, driven by the persistent
@@ -154,6 +173,7 @@ type Steady struct {
 	startCycle int       // first cycle index Run will execute (set by Restore)
 	prior      []float64 // residual history carried over from a checkpoint
 	close      func()    // releases stepper resources (worker pool); may be nil
+	closeOnce  sync.Once
 }
 
 // Stats returns the per-phase wall-clock and analytic-Mflops breakdown
@@ -161,13 +181,26 @@ type Steady struct {
 func (st *Steady) Stats() perf.Stats { return st.s.stats() }
 
 // Close releases any resources held by the underlying stepper (the
-// shared-memory worker pool). Safe to call multiple times and on solvers
-// that hold no resources.
+// shared-memory worker pool). It is idempotent — including under
+// concurrent callers — and safe on solvers that hold no resources and
+// after a Run that returned an error.
 func (st *Steady) Close() {
-	if st.close != nil {
-		st.close()
-		st.close = nil
-	}
+	st.closeOnce.Do(func() {
+		if st.close != nil {
+			st.close()
+			st.close = nil
+		}
+	})
+}
+
+// Reset returns the solver to its initial freestream state and clears any
+// restored checkpoint, so a long-lived engine can serve a fresh run. The
+// accumulated perf stats are deliberately kept (they describe the engine,
+// not one run).
+func (st *Steady) Reset() {
+	st.s.initUniform()
+	st.startCycle = 0
+	st.prior = nil
 }
 
 // Restore warm-starts the solver from a checkpoint so that a subsequent
@@ -216,6 +249,10 @@ func (st *Steady) Run(opt Options) (*Result, error) {
 		res.Cycles = n
 	}
 	for c := st.startCycle; c < opt.MaxCycles; c++ {
+		if opt.Context != nil && opt.Context.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		norm := st.s.cycle()
 		res.History = append(res.History, norm)
 		if len(res.History) == 1 {
@@ -223,6 +260,9 @@ func (st *Steady) Run(opt Options) (*Result, error) {
 		}
 		res.FinalNorm = norm
 		res.Cycles = c + 1
+		if opt.Progress != nil {
+			opt.Progress(c, norm)
+		}
 		if opt.LogEvery > 0 && opt.Log != nil && c%opt.LogEvery == 0 {
 			fmt.Fprintf(opt.Log, "cycle %5d  residual %.3e\n", c, norm)
 		}
