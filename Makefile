@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify serve-smoke bench clean
+.PHONY: all build test race verify serve-smoke trace-smoke bench clean
 
 all: build
 
@@ -14,10 +14,11 @@ test:
 # Race-check the concurrency-bearing packages: the simulated interconnect,
 # the PARTI executors with self-healing receives, the MIMD solver with its
 # recovery orchestrator, the shared-memory worker-pool engine (single-grid
-# and pooled multigrid, V- and W-cycles), and the transfer operators the
-# pooled multigrid scatters in parallel.
+# and pooled multigrid, V- and W-cycles), the transfer operators the
+# pooled multigrid scatters in parallel, and the flight-recorder tracer
+# whose rings are written from every worker concurrently.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/...
 
 # End-to-end serving smoke: build eul3dd, start it on a random port, run a
 # channel-mesh job to completion, check /metrics, then SIGTERM it mid-job
@@ -25,14 +26,22 @@ race:
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count 1 -v ./cmd/eul3dd
 
+# Flight-recorder smoke: build eul3d, run it traced on the shared-memory
+# and fault-injected distributed paths, and validate every emitted file as
+# loadable Chrome trace JSON (including the automatic incident dump).
+trace-smoke:
+	$(GO) test -run TestTraceSmoke -count 1 -v ./cmd/eul3d
+
 # Full gate: vet, all tests, race pass, a short fuzz smoke on the
-# fault-spec parser (errors, never panics), and the serving smoke test.
+# fault-spec parser (errors, never panics), and the serving and tracing
+# smoke tests.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/...
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 2s ./internal/simnet
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/eul3dd
+	$(GO) test -run TestTraceSmoke -count 1 ./cmd/eul3d
 
 # Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,
 # which writes its results to BENCH_smsolver.json.

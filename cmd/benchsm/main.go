@@ -30,6 +30,7 @@ import (
 	"eul3d/internal/flops"
 	"eul3d/internal/meshgen"
 	"eul3d/internal/smsolver"
+	"eul3d/internal/trace"
 )
 
 type workerResult struct {
@@ -84,6 +85,7 @@ func main() {
 		gamma   = flag.Int("gamma", 2, "multigrid cycle index (1 = V, 2 = W)")
 		cycles  = flag.Int("cycles", 20, "timed multigrid cycles per worker count")
 		out     = flag.String("out", "BENCH_smsolver.json", "output JSON path")
+		trcPath = flag.String("trace", "", "after the sweep, run a short traced burst at the highest worker count and write the Chrome trace timeline here")
 	)
 	flag.Parse()
 
@@ -192,6 +194,29 @@ func main() {
 				r.Workers, r.NsPerCycle, r.Mflops, r.SpeedupVs1, r.AllocsPerCycle)
 		}
 		rep.Multigrid = ser
+	}
+
+	// The benchmark sweep itself runs untraced (the numbers above are the
+	// product); a separate short burst at the highest worker count records
+	// the per-worker timeline for inspection in Perfetto.
+	if *trcPath != "" {
+		nw := workerList[len(workerList)-1]
+		s, err := smsolver.New(m, p, nw)
+		if err != nil {
+			log.Fatalf("benchsm: %v", err)
+		}
+		tr := trace.New(1 << 14)
+		s.SetTrace(tr)
+		w := make([]euler.State, m.NV())
+		s.InitUniform(w)
+		for i := 0; i < 5; i++ {
+			s.Step(w, nil)
+		}
+		s.Close()
+		if err := tr.WriteChromeFile(*trcPath); err != nil {
+			log.Fatalf("benchsm: %v", err)
+		}
+		fmt.Printf("trace of 5 steps at %d workers written to %s\n", nw, *trcPath)
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")

@@ -30,6 +30,7 @@ import (
 	"eul3d/internal/simnet"
 	"eul3d/internal/solver"
 	"eul3d/internal/tables"
+	"eul3d/internal/trace"
 )
 
 func main() {
@@ -54,6 +55,7 @@ func main() {
 		initSol  = flag.String("init-solution", "", "warm-start from a saved solution file")
 		fmg      = flag.Int("fmg", 0, "full-multigrid initialization: cycles per coarse level (0 = off)")
 		history  = flag.String("history", "", "write the residual history as CSV to this file")
+		tracePth = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (load in Perfetto or chrome://tracing)")
 
 		nproc     = flag.Int("nproc", 0, "simulated processors for the distributed solver (0 = in-process sequential solver)")
 		mimd      = flag.Bool("mimd", false, "with -nproc: run one goroutine per simulated processor (true MIMD mode)")
@@ -100,6 +102,10 @@ func main() {
 	if *faultSpec != "" && *nproc <= 0 {
 		log.Fatalf("eul3d: -faults requires the distributed solver (-nproc)")
 	}
+	var tracer *trace.Tracer
+	if *tracePth != "" {
+		tracer = trace.New(1 << 14)
+	}
 	if *nproc > 0 {
 		runDistributed(p, loadSeq, ck, distOpts{
 			strategy: *strategy, levels: *levels, nproc: *nproc, mimd: *mimd,
@@ -107,6 +113,7 @@ func main() {
 			ckptPath: *ckptPath, ckptEvery: *ckptEvery,
 			mach: *mach, alpha: *alpha,
 			history: *history, saveSol: *saveSol, saveVTK: *saveVTK,
+			tracer: tracer, tracePath: *tracePth,
 		})
 		return
 	}
@@ -189,6 +196,13 @@ func main() {
 			log.Fatalf("eul3d: %v", err)
 		}
 	}
+	if tracer != nil {
+		if st.SetTrace(tracer) {
+			fmt.Printf("flight recorder armed; trace goes to %s\n", *tracePth)
+		} else {
+			fmt.Printf("(-trace: strategy %q without -workers has no traced stepper; trace will be empty)\n", *strategy)
+		}
+	}
 
 	res, err := st.Run(solver.Options{
 		MaxCycles: *cycles,
@@ -202,8 +216,10 @@ func main() {
 		AlphaDeg:        *alpha,
 	})
 	if err != nil {
+		writeTrace(tracer, *tracePth)
 		log.Fatalf("eul3d: %v", err)
 	}
+	writeTrace(tracer, *tracePth)
 	checkDivergence(res.History)
 	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
 		res.Cycles, res.InitialNorm, res.FinalNorm, res.Ordersof10)
@@ -264,6 +280,8 @@ type distOpts struct {
 	history   string
 	saveSol   string
 	saveVTK   string
+	tracer    *trace.Tracer
+	tracePath string
 }
 
 // runDistributed is the fault-tolerant distributed path: spectral
@@ -326,6 +344,13 @@ func runDistributed(p euler.Params, loadSeq func(int) ([]*mesh.Mesh, error), ck 
 	}
 	fmt.Printf("distributed solve: %d simulated processors, %s\n", o.nproc, mode)
 
+	incident := ""
+	if o.tracer != nil {
+		s.SetTrace(o.tracer)
+		incident = incidentPath(o.tracePath)
+		fmt.Printf("flight recorder armed; trace goes to %s, incident dumps to %s\n", o.tracePath, incident)
+	}
+
 	res, err := s.Run(dmsolver.RunOptions{
 		MaxCycles:       o.cycles,
 		Tolerance:       o.tol,
@@ -337,10 +362,13 @@ func runDistributed(p euler.Params, loadSeq func(int) ([]*mesh.Mesh, error), ck 
 		Mach:            o.mach,
 		AlphaDeg:        o.alpha,
 		Resume:          ck,
+		IncidentPath:    incident,
 	})
 	if err != nil {
+		writeTrace(o.tracer, o.tracePath)
 		log.Fatalf("eul3d: %v", err)
 	}
+	writeTrace(o.tracer, o.tracePath)
 	checkDivergence(res.History)
 
 	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
@@ -375,6 +403,28 @@ func runDistributed(p euler.Params, loadSeq func(int) ([]*mesh.Mesh, error), ck 
 		}
 		fmt.Printf("VTK written to %s\n", o.saveVTK)
 	}
+}
+
+// writeTrace dumps the flight recorder to path as Chrome trace JSON.
+func writeTrace(tr *trace.Tracer, path string) {
+	if tr == nil || path == "" {
+		return
+	}
+	if err := tr.WriteChromeFile(path); err != nil {
+		log.Fatalf("eul3d: writing trace: %v", err)
+	}
+	fmt.Printf("trace written to %s (%d tracks); load it in Perfetto or chrome://tracing\n",
+		path, len(tr.Tracks()))
+}
+
+// incidentPath derives the flight-recorder incident dump path from the
+// -trace path: out.json -> out.incident.json. Keeping them separate means
+// a crash dump survives even after the final trace overwrites nothing.
+func incidentPath(tracePath string) string {
+	if ext := ".json"; strings.HasSuffix(tracePath, ext) {
+		return strings.TrimSuffix(tracePath, ext) + ".incident" + ext
+	}
+	return tracePath + ".incident"
 }
 
 // checkDivergence aborts with a nonzero exit when the residual history

@@ -26,12 +26,14 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"eul3d/internal/serve"
+	"eul3d/internal/trace"
 )
 
 func main() {
@@ -44,6 +46,9 @@ func main() {
 		stateDir     = flag.String("state-dir", "", "drain checkpoints + resume sidecars (empty disables resume)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "grace period for SIGTERM drain")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
+		doTrace      = flag.Bool("trace", false, "enable the flight recorder; dump it as Chrome trace JSON at GET /debug/trace")
+		traceRing    = flag.Int("trace-ring", 4096, "flight-recorder events retained per track (with -trace)")
+		debug        = flag.Bool("debug", false, "expose Go profiling endpoints under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -57,6 +62,10 @@ func main() {
 		}
 	}
 
+	var tracer *trace.Tracer
+	if *doTrace {
+		tracer = trace.New(*traceRing)
+	}
 	sched := serve.NewScheduler(serve.Config{
 		QueueCap:     *queueCap,
 		Runners:      *runners,
@@ -64,6 +73,7 @@ func main() {
 		CacheCap:     *cacheCap,
 		StateDir:     *stateDir,
 		Log:          logger,
+		Trace:        tracer,
 	})
 	if n, err := sched.Recover(); err != nil {
 		logger.Fatalf("recovering state dir: %v", err)
@@ -80,7 +90,22 @@ func main() {
 	fmt.Printf("eul3dd listening on %s\n", ln.Addr())
 	os.Stdout.Sync()
 
-	srv := &http.Server{Handler: serve.NewAPI(sched).Handler()}
+	var handler http.Handler = serve.NewAPI(sched).Handler()
+	if *debug {
+		// Mount the API beside the Go profiling endpoints; with the
+		// pprof.Labels the scheduler sets on solver goroutines, CPU and
+		// goroutine profiles break down by job and engine.
+		mux := http.NewServeMux()
+		mux.Handle("/", handler)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		handler = mux
+		logger.Printf("profiling endpoints enabled under /debug/pprof/")
+	}
+	srv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 

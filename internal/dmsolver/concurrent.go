@@ -3,6 +3,7 @@ package dmsolver
 import (
 	"math"
 	"sync"
+	"time"
 
 	"eul3d/internal/euler"
 	"eul3d/internal/parti"
@@ -53,19 +54,48 @@ func (r *concRun) sync() bool {
 	})
 }
 
-// exchange runs one send-half, a barrier, then one receive-half.
-func (r *concRun) exchange(send, recv func() error) bool {
+// exchange runs one send-half, a barrier, then one receive-half. With a
+// tracer attached it lays processor p's timeline down as it goes: the
+// compute span closing the gap since p's previous exchange, the send and
+// receive halves, and the bulk-synchronous barrier waits between them.
+func (r *concRun) exchange(p, kind int, send, recv func() error) bool {
+	st := r.s.st
+	if st == nil {
+		r.fail(send())
+		if !r.sync() {
+			return false
+		}
+		r.fail(recv())
+		return r.sync()
+	}
+	tk := st.procs[p]
+	t0 := time.Now()
+	if !st.lastProc[p].IsZero() {
+		tk.Span(st.phComp, st.lastProc[p], t0, 0)
+	}
 	r.fail(send())
-	if !r.sync() {
+	t1 := time.Now()
+	tk.Span(st.sendPh[kind], t0, t1, 0)
+	ok := r.sync()
+	t2 := time.Now()
+	tk.Span(st.phBar, t1, t2, 0)
+	if !ok {
+		st.lastProc[p] = t2
 		return false
 	}
 	r.fail(recv())
-	return r.sync()
+	t3 := time.Now()
+	tk.Span(st.recvPh[kind], t2, t3, 0)
+	ok = r.sync()
+	t4 := time.Now()
+	tk.Span(st.phBar, t3, t4, 0)
+	st.lastProc[p] = t4
+	return ok
 }
 
 func (r *concRun) gatherStates(sch *parti.Schedule, p int, data [][]euler.State) bool {
 	f := r.s.Fabric
-	return r.exchange(
+	return r.exchange(p, exGatherState,
 		func() error { return sch.SendGatherStates(f, p, data) },
 		func() error { return sch.RecvGatherStates(f, p, data) },
 	)
@@ -73,7 +103,7 @@ func (r *concRun) gatherStates(sch *parti.Schedule, p int, data [][]euler.State)
 
 func (r *concRun) scatterStates(sch *parti.Schedule, p int, data [][]euler.State) bool {
 	f := r.s.Fabric
-	return r.exchange(
+	return r.exchange(p, exScatterState,
 		func() error { return sch.SendScatterStates(f, p, data) },
 		func() error { return sch.RecvScatterStates(f, p, data) },
 	)
@@ -81,7 +111,7 @@ func (r *concRun) scatterStates(sch *parti.Schedule, p int, data [][]euler.State
 
 func (r *concRun) gatherFloats(sch *parti.Schedule, p int, data [][]float64) bool {
 	f := r.s.Fabric
-	return r.exchange(
+	return r.exchange(p, exGatherFloat,
 		func() error { return sch.SendGatherFloats(f, p, data) },
 		func() error { return sch.RecvGatherFloats(f, p, data) },
 	)
@@ -89,7 +119,7 @@ func (r *concRun) gatherFloats(sch *parti.Schedule, p int, data [][]float64) boo
 
 func (r *concRun) scatterFloats(sch *parti.Schedule, p int, data [][]float64) bool {
 	f := r.s.Fabric
-	return r.exchange(
+	return r.exchange(p, exScatterFloat,
 		func() error { return sch.SendScatterFloats(f, p, data) },
 		func() error { return sch.RecvScatterFloats(f, p, data) },
 	)

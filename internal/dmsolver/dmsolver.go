@@ -20,6 +20,7 @@ package dmsolver
 
 import (
 	"fmt"
+	"time"
 
 	"eul3d/internal/euler"
 	"eul3d/internal/geom"
@@ -47,10 +48,11 @@ type CommCounters struct {
 
 // Level holds the distributed state of one grid level.
 type Level struct {
-	M    *mesh.Mesh // the global mesh (preprocessing data; not touched in loops)
-	Part []int32    // vertex -> processor
-	Dist *parti.Dist
-	GS   *parti.GhostSpace
+	Index int        // position in Solver.Levels (0 = finest)
+	M     *mesh.Mesh // the global mesh (preprocessing data; not touched in loops)
+	Part  []int32    // vertex -> processor
+	Dist  *parti.Dist
+	GS    *parti.GhostSpace
 
 	// SchedW fills ghosts of every vertex referenced by local edge or
 	// boundary-face loops.
@@ -88,6 +90,12 @@ type Solver struct {
 	Fabric *simnet.Fabric
 	Levels []*Level
 	Comm   CommCounters
+
+	// Flight recorder (trace.go): nil when tracing is disabled. builds
+	// keeps the construction timings for replay into a later-attached
+	// tracer.
+	st     *solverTrace
+	builds []buildSpan
 }
 
 // NewSingle builds a distributed single-grid solver over m with the given
@@ -120,6 +128,7 @@ func build(meshes []*mesh.Mesh, parts [][]int32, nproc int, p euler.Params, gamm
 	// Sequential preprocessing: transfer operators between levels.
 	var restrictOps, prolongOps []*multigrid.TransferOp // index l: between level l-1 (fine) and l (coarse)
 	for l := 1; l < len(meshes); l++ {
+		bt := time.Now()
 		r, err := multigrid.BuildTransfer(meshes[l], meshes[l-1])
 		if err != nil {
 			return nil, fmt.Errorf("dmsolver: restrict %d: %w", l, err)
@@ -130,6 +139,7 @@ func build(meshes []*mesh.Mesh, parts [][]int32, nproc int, p euler.Params, gamm
 		}
 		restrictOps = append(restrictOps, r)
 		prolongOps = append(prolongOps, pr)
+		s.recordBuild("transfer-build", l, bt)
 	}
 
 	for l, m := range meshes {
@@ -156,16 +166,20 @@ func build(meshes []*mesh.Mesh, parts [][]int32, nproc int, p euler.Params, gamm
 		if len(part) != m.NV() {
 			return nil, fmt.Errorf("dmsolver: level %d partition has %d entries for %d vertices", l, len(part), m.NV())
 		}
+		bt := time.Now()
 		lev, err := buildLevel(m, part, nproc)
 		if err != nil {
 			return nil, fmt.Errorf("dmsolver: level %d: %w", l, err)
 		}
+		s.recordBuild("schedule-build", l, bt)
+		lev.Index = l
 		s.Levels = append(s.Levels, lev)
 	}
 
 	// Localize the multigrid transfer operators and build their
 	// (incremental) schedules.
 	for l := 1; l < len(s.Levels); l++ {
+		bt := time.Now()
 		fine, coarse := s.Levels[l-1], s.Levels[l]
 		rop, pop := restrictOps[l-1], prolongOps[l-1]
 
@@ -212,6 +226,7 @@ func build(meshes []*mesh.Mesh, parts [][]int32, nproc int, p euler.Params, gamm
 				coarse.ProlongWt[p] = append(coarse.ProlongWt[p], pop.Wt[g])
 			}
 		}
+		s.recordBuild("incremental-build", l, bt)
 	}
 
 	// Allocate solution arrays now that every ghost slot exists.

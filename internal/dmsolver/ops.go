@@ -5,6 +5,7 @@ import (
 
 	"eul3d/internal/euler"
 	"eul3d/internal/mesh"
+	"eul3d/internal/parti"
 )
 
 // This file holds the per-processor loop bodies (the "executor" side of
@@ -315,17 +316,38 @@ func (s *Solver) forAll(fn func(p int)) {
 	}
 }
 
+// Sequential collective wrappers: count the execution and, with a tracer
+// attached, bracket it with comm/compute spans (trace.go).
+
+func (s *Solver) seqGatherStates(sch *parti.Schedule, lev *Level, data [][]euler.State) error {
+	s.Comm.GatherState++
+	return s.seqEx(exGatherState, lev.Index, func() error { return sch.GatherStates(s.Fabric, data) })
+}
+
+func (s *Solver) seqScatterAddStates(sch *parti.Schedule, lev *Level, data [][]euler.State) error {
+	s.Comm.ScatterState++
+	return s.seqEx(exScatterState, lev.Index, func() error { return sch.ScatterAddStates(s.Fabric, data) })
+}
+
+func (s *Solver) seqGatherFloats(sch *parti.Schedule, lev *Level, data [][]float64) error {
+	s.Comm.GatherFloat++
+	return s.seqEx(exGatherFloat, lev.Index, func() error { return sch.GatherFloats(s.Fabric, data) })
+}
+
+func (s *Solver) seqScatterAddFloats(sch *parti.Schedule, lev *Level, data [][]float64) error {
+	s.Comm.ScatterFloat++
+	return s.seqEx(exScatterFloat, lev.Index, func() error { return sch.ScatterAddFloats(s.Fabric, data) })
+}
+
 // gatherW refreshes the flow-variable ghosts of level lev.
 func (s *Solver) gatherW(lev *Level) error {
-	s.Comm.GatherState++
-	return lev.SchedW.GatherStates(s.Fabric, lev.W)
+	return s.seqGatherStates(lev.SchedW, lev, lev.W)
 }
 
 // convective assembles Q(w) into lev.Conv with the closing scatter-add.
 func (s *Solver) convective(lev *Level) error {
 	s.forAll(func(p int) { s.convectiveProc(lev, p) })
-	s.Comm.ScatterState++
-	return lev.SchedW.ScatterAddStates(s.Fabric, lev.Conv)
+	return s.seqScatterAddStates(lev.SchedW, lev, lev.Conv)
 }
 
 // dissipation assembles D(w) into lev.Diss: pass 1 with scatter-add and
@@ -333,36 +355,30 @@ func (s *Solver) convective(lev *Level) error {
 // structure that motivates the paper's incremental schedules.
 func (s *Solver) dissipation(lev *Level) error {
 	s.forAll(func(p int) { s.dissPass1Proc(lev, p) })
-	s.Comm.ScatterState++
-	if err := lev.SchedW.ScatterAddStates(s.Fabric, lev.Lapl); err != nil {
+	if err := s.seqScatterAddStates(lev.SchedW, lev, lev.Lapl); err != nil {
 		return err
 	}
-	s.Comm.ScatterFloat += 2
-	if err := lev.SchedW.ScatterAddFloats(s.Fabric, lev.Num); err != nil {
+	if err := s.seqScatterAddFloats(lev.SchedW, lev, lev.Num); err != nil {
 		return err
 	}
-	if err := lev.SchedW.ScatterAddFloats(s.Fabric, lev.Den); err != nil {
+	if err := s.seqScatterAddFloats(lev.SchedW, lev, lev.Den); err != nil {
 		return err
 	}
 	s.forAll(func(p int) { s.nuProc(lev, p) })
-	s.Comm.GatherState++
-	if err := lev.SchedW.GatherStates(s.Fabric, lev.Lapl); err != nil {
+	if err := s.seqGatherStates(lev.SchedW, lev, lev.Lapl); err != nil {
 		return err
 	}
-	s.Comm.GatherFloat++
-	if err := lev.SchedW.GatherFloats(s.Fabric, lev.Num); err != nil {
+	if err := s.seqGatherFloats(lev.SchedW, lev, lev.Num); err != nil {
 		return err
 	}
 	s.forAll(func(p int) { s.dissPass2Proc(lev, p) })
-	s.Comm.ScatterState++
-	return lev.SchedW.ScatterAddStates(s.Fabric, lev.Diss)
+	return s.seqScatterAddStates(lev.SchedW, lev, lev.Diss)
 }
 
 // timeSteps computes the local time steps on owned vertices.
 func (s *Solver) timeSteps(lev *Level) error {
 	s.forAll(func(p int) { s.lamProc(lev, p) })
-	s.Comm.ScatterFloat++
-	if err := lev.SchedW.ScatterAddFloats(s.Fabric, lev.Lam); err != nil {
+	if err := s.seqScatterAddFloats(lev.SchedW, lev, lev.Lam); err != nil {
 		return err
 	}
 	s.forAll(func(p int) { s.dtProc(lev, p) })
@@ -378,14 +394,12 @@ func (s *Solver) smooth(lev *Level, arr [][]euler.State) error {
 	s.forAll(func(p int) { s.smoothRHSProc(lev, p, arr) })
 	cur, next := arr, lev.Smooth
 	for sweep := 0; sweep < s.P.NSmooth; sweep++ {
-		s.Comm.GatherState++
-		if err := lev.SchedW.GatherStates(s.Fabric, cur); err != nil {
+		if err := s.seqGatherStates(lev.SchedW, lev, cur); err != nil {
 			return err
 		}
 		cc, nn := cur, next
 		s.forAll(func(p int) { s.smoothAccumProc(lev, p, cc, nn) })
-		s.Comm.ScatterState++
-		if err := lev.SchedW.ScatterAddStates(s.Fabric, next); err != nil {
+		if err := s.seqScatterAddStates(lev.SchedW, lev, next); err != nil {
 			return err
 		}
 		s.forAll(func(p int) { s.smoothCombineProc(lev, p, nn, eps) })
@@ -483,8 +497,7 @@ func (s *Solver) cycle(l int) (float64, error) {
 	if err := s.gatherW(lev); err != nil {
 		return 0, err
 	}
-	s.Comm.GatherState++
-	if err := next.SchedFine.GatherStates(s.Fabric, lev.W); err != nil {
+	if err := s.seqGatherStates(next.SchedFine, lev, lev.W); err != nil {
 		return 0, err
 	}
 	s.forAll(func(p int) { s.restrictInterpProc(lev, next, p) })
@@ -494,11 +507,10 @@ func (s *Solver) cycle(l int) (float64, error) {
 	// schedule where possible (incremental schedules); accumulated
 	// contributions return to their owners through both schedules.
 	s.forAll(func(p int) { s.residualScatterProc(lev, next, p) })
-	s.Comm.ScatterState += 2
-	if err := next.SchedCoarse.ScatterAddStates(s.Fabric, next.Forcing); err != nil {
+	if err := s.seqScatterAddStates(next.SchedCoarse, next, next.Forcing); err != nil {
 		return 0, err
 	}
-	if err := next.SchedW.ScatterAddStates(s.Fabric, next.Forcing); err != nil {
+	if err := s.seqScatterAddStates(next.SchedW, next, next.Forcing); err != nil {
 		return 0, err
 	}
 
@@ -521,11 +533,10 @@ func (s *Solver) cycle(l int) (float64, error) {
 	// Correction: coarse delta, ghost refresh through both schedules,
 	// interpolate to fine, smooth, apply.
 	s.forAll(func(p int) { s.corrDeltaProc(next, p) })
-	s.Comm.GatherState += 2
-	if err := next.SchedCoarse.GatherStates(s.Fabric, next.Corr); err != nil {
+	if err := s.seqGatherStates(next.SchedCoarse, next, next.Corr); err != nil {
 		return 0, err
 	}
-	if err := next.SchedW.GatherStates(s.Fabric, next.Corr); err != nil {
+	if err := s.seqGatherStates(next.SchedW, next, next.Corr); err != nil {
 		return 0, err
 	}
 	s.forAll(func(p int) { s.corrInterpProc(lev, next, p) })

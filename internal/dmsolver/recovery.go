@@ -9,6 +9,7 @@ import (
 	"eul3d/internal/euler"
 	"eul3d/internal/meshio"
 	"eul3d/internal/simnet"
+	"eul3d/internal/trace"
 )
 
 // This file is the recovery orchestrator: a driver loop around the
@@ -56,6 +57,13 @@ type RunOptions struct {
 
 	// Resume warm-starts the run from a previously saved checkpoint.
 	Resume *meshio.Checkpoint
+
+	// IncidentPath, when set and a tracer is attached (SetTrace), dumps
+	// the flight recorder there (Chrome trace-event JSON) at every
+	// incident — node crash, CFL backoff, or unrecoverable divergence —
+	// so the rings hold the events leading up to it. Later incidents
+	// overwrite earlier dumps: the file always describes the most recent.
+	IncidentPath string
 
 	// MaxRecoveries bounds crash recoveries (default 3 when zero; negative
 	// disables recovery entirely).
@@ -183,11 +191,14 @@ func (s *Solver) Run(opt RunOptions) (*RunResult, error) {
 		if err != nil {
 			if errors.Is(err, simnet.ErrNodeDown) && maxRecoveries > 0 && res.Recoveries < maxRecoveries {
 				res.Recoveries++
+				s.markIncident(func(st *solverTrace) trace.PhaseID { return st.phCrash }, int64(c))
 				if opt.Log != nil {
 					fmt.Fprintf(opt.Log, "cycle %5d  node crash (%v); restoring checkpoint at cycle %d (recovery %d/%d)\n",
 						c, err, ckpt.cycle, res.Recoveries, maxRecoveries)
 				}
 				s.restoreSnapshot(ckpt)
+				s.markIncident(func(st *solverTrace) trace.PhaseID { return st.phRecov }, int64(ckpt.cycle))
+				s.dumpIncident(&opt)
 				s.P.CFL = ckpt.cfl
 				history = append(history[:0], ckpt.history...)
 				c = ckpt.cycle
@@ -196,6 +207,7 @@ func (s *Solver) Run(opt RunOptions) (*RunResult, error) {
 			return nil, fmt.Errorf("dmsolver: cycle %d: %w", c, err)
 		}
 		if diverged(norm, history, blowup) {
+			s.markIncident(func(st *solverTrace) trace.PhaseID { return st.phBack }, int64(c))
 			if maxBackoffs > 0 && res.CFLBackoffs < maxBackoffs {
 				res.CFLBackoffs++
 				newCFL := s.P.CFL * 0.5
@@ -207,8 +219,10 @@ func (s *Solver) Run(opt RunOptions) (*RunResult, error) {
 				s.P.CFL = newCFL // keep the reduced CFL, not the checkpointed one
 				history = append(history[:0], ckpt.history...)
 				c = ckpt.cycle
+				s.dumpIncident(&opt)
 				continue
 			}
+			s.dumpIncident(&opt)
 			return nil, fmt.Errorf("dmsolver: cycle %d: residual %g diverged (initial %g)", c, norm, initialOf(history, norm))
 		}
 		history = append(history, norm)
@@ -218,6 +232,7 @@ func (s *Solver) Run(opt RunOptions) (*RunResult, error) {
 		}
 		if opt.CheckpointEvery > 0 && c%opt.CheckpointEvery == 0 {
 			ckpt = s.takeSnapshot(c, history)
+			s.markIncident(func(st *solverTrace) trace.PhaseID { return st.phCkpt }, int64(c))
 			if opt.CheckpointPath != "" {
 				ck := &meshio.Checkpoint{
 					Cycle: ckpt.cycle, Mach: opt.Mach, AlphaDeg: opt.AlphaDeg, CFL: ckpt.cfl,
@@ -245,6 +260,25 @@ func (s *Solver) Run(opt RunOptions) (*RunResult, error) {
 	}
 	res.FineSolution = s.GatherSolution()
 	return res, nil
+}
+
+// dumpIncident writes the flight recorder to opt.IncidentPath, capturing
+// the ring contents — the events leading up to the incident that was just
+// marked. Dump failures are reported on the log but never fail the run:
+// post-mortem capture must not take the solve down with it.
+func (s *Solver) dumpIncident(opt *RunOptions) {
+	if s.st == nil || opt.IncidentPath == "" {
+		return
+	}
+	if err := s.st.tr.WriteChromeFile(opt.IncidentPath); err != nil {
+		if opt.Log != nil {
+			fmt.Fprintf(opt.Log, "incident trace dump: %v\n", err)
+		}
+		return
+	}
+	if opt.Log != nil {
+		fmt.Fprintf(opt.Log, "incident trace dumped to %s\n", opt.IncidentPath)
+	}
 }
 
 // diverged is the watchdog predicate: NaN/Inf, or a residual more than

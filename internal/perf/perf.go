@@ -59,6 +59,27 @@ func (s Stats) String() string {
 	return b.String()
 }
 
+// Merge combines any number of snapshots phase-by-name: phases sharing a
+// name sum their seconds and flops, and the result keeps first-appearance
+// order. This is the fleet view — eul3dd's /metrics merges the per-engine
+// snapshots of every cached engine into one aggregate breakdown.
+func Merge(snaps ...Stats) Stats {
+	var out Stats
+	index := make(map[string]int)
+	for _, s := range snaps {
+		for _, p := range s.Phases {
+			if i, ok := index[p.Name]; ok {
+				out.Phases[i].Seconds += p.Seconds
+				out.Phases[i].Flops += p.Flops
+				continue
+			}
+			index[p.Name] = len(out.Phases)
+			out.Phases = append(out.Phases, p)
+		}
+	}
+	return out
+}
+
 // Accum accumulates per-phase durations and flop counts without
 // allocating. Phases are identified by the index of their name in the
 // NewAccum argument list.
@@ -82,6 +103,9 @@ func (a *Accum) Add(phase int, d time.Duration, flops int64) {
 	a.ns[phase] += int64(d)
 	a.flops[phase] += flops
 }
+
+// Names returns the accumulator's phase names, indexed by slot.
+func (a *Accum) Names() []string { return a.names }
 
 // Stats snapshots the accumulator.
 func (a *Accum) Stats() Stats {

@@ -72,6 +72,52 @@ func TestAddZeroAllocs(t *testing.T) {
 	}
 }
 
+// Merge must sum phases by name, keep first-appearance order, and not
+// alias its inputs.
+func TestMerge(t *testing.T) {
+	a := Stats{Phases: []Phase{
+		{Name: "conv", Seconds: 1, Flops: 100},
+		{Name: "diss", Seconds: 2, Flops: 200},
+	}}
+	b := Stats{Phases: []Phase{
+		{Name: "diss", Seconds: 3, Flops: 300},
+		{Name: "update", Seconds: 4, Flops: 400},
+	}}
+	m := Merge(a, b)
+	want := []Phase{
+		{Name: "conv", Seconds: 1, Flops: 100},
+		{Name: "diss", Seconds: 5, Flops: 500},
+		{Name: "update", Seconds: 4, Flops: 400},
+	}
+	if len(m.Phases) != len(want) {
+		t.Fatalf("merged %d phases, want %d: %+v", len(m.Phases), len(want), m.Phases)
+	}
+	for i, p := range want {
+		if m.Phases[i] != p {
+			t.Fatalf("phase %d = %+v, want %+v", i, m.Phases[i], p)
+		}
+	}
+	// Mutating the merge must not write through to the inputs.
+	m.Phases[0].Flops = 999
+	if a.Phases[0].Flops != 100 {
+		t.Fatalf("merge aliases its input: %+v", a.Phases[0])
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if m := Merge(); len(m.Phases) != 0 {
+		t.Fatalf("empty merge has %d phases", len(m.Phases))
+	}
+	if m := Merge(Stats{}, Stats{}); len(m.Phases) != 0 {
+		t.Fatalf("merge of empty snapshots has %d phases", len(m.Phases))
+	}
+	one := Stats{Phases: []Phase{{Name: "step", Seconds: 1, Flops: 10}}}
+	m := Merge(Stats{}, one)
+	if len(m.Phases) != 1 || m.Phases[0] != one.Phases[0] {
+		t.Fatalf("merge with empty = %+v", m.Phases)
+	}
+}
+
 func TestStringTable(t *testing.T) {
 	a := NewAccum("conv", "diss")
 	a.Add(0, time.Second, 2_000_000)

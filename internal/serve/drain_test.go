@@ -12,7 +12,7 @@ import (
 // identical to an uninterrupted run of the same spec.
 func TestDrainCheckpointAndResume(t *testing.T) {
 	dir := t.TempDir()
-	spec := chanSpec(6, 3, 2, 1, KindSM, 2, 60)
+	spec := chanSpec(6, 3, 2, 1, KindSM, 2, 600)
 
 	// Reference: the same spec run to completion without interruption.
 	ref := NewScheduler(Config{Runners: 1, WorkerBudget: 4})
@@ -23,8 +23,8 @@ func TestDrainCheckpointAndResume(t *testing.T) {
 	waitDone(t, jr)
 	refHist := jr.View().History
 	ref.Stop()
-	if len(refHist) != 60 {
-		t.Fatalf("reference ran %d cycles, want 60", len(refHist))
+	if len(refHist) != 600 {
+		t.Fatalf("reference ran %d cycles, want 600", len(refHist))
 	}
 
 	// Interrupted run: drain mid-flight.
@@ -39,7 +39,7 @@ func TestDrainCheckpointAndResume(t *testing.T) {
 		t.Fatalf("state after drain %s, want drained", st)
 	}
 	cut := j1.View().Cycles
-	if cut < 5 || cut >= 60 {
+	if cut < 5 || cut >= 600 {
 		t.Fatalf("drained after %d cycles, want mid-flight", cut)
 	}
 	if _, err := os.Stat(filepath.Join(dir, j1.ID+".ckpt")); err != nil {

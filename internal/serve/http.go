@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+
+	"eul3d/internal/perf"
 )
 
 // API is the HTTP facade over a Scheduler:
@@ -16,6 +18,7 @@ import (
 //	DELETE /v1/jobs/{id} cooperative cancellation
 //	GET    /healthz      liveness + drain state
 //	GET    /metrics      Prometheus-style text metrics
+//	GET    /debug/trace  flight-recorder dump (Chrome trace-event JSON)
 type API struct {
 	s *Scheduler
 }
@@ -31,6 +34,7 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancelJob)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", a.handleTrace)
 	return mux
 }
 
@@ -151,6 +155,10 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("eul3dd_workers_in_use", gov.InUse(), "pooled workers held by running jobs")
 	gauge("eul3dd_workers_peak", gov.Peak(), "high-water mark of pooled workers in use")
 
+	// Job-latency histograms: time spent queued and time spent solving.
+	m.QueueWait.WriteProm(&b, "eul3dd_job_queue_wait_seconds", "time from admission to dispatch")
+	m.RunTime.WriteProm(&b, "eul3dd_job_run_seconds", "solver run time per job")
+
 	// Per-engine computational rates from the accumulated perf.Stats.
 	fmt.Fprintf(&b, "# HELP eul3dd_engine_mflops analytic Mflops per cached engine\n# TYPE eul3dd_engine_mflops gauge\n")
 	stats := a.s.Cache().EngineStats()
@@ -159,10 +167,39 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	all := make([]perf.Stats, 0, len(keys))
 	for _, k := range keys {
 		total := stats[k].Total()
 		fmt.Fprintf(&b, "eul3dd_engine_mflops{engine=%q} %.1f\n", k, total.Mflops())
 		fmt.Fprintf(&b, "eul3dd_engine_seconds{engine=%q} %.4f\n", k, total.Seconds)
+		all = append(all, stats[k])
+	}
+
+	// Fleet-wide per-phase breakdown: every cached engine's snapshot merged
+	// phase-by-name, the service-level analogue of the paper's timing table.
+	merged := perf.Merge(all...)
+	fmt.Fprintf(&b, "# HELP eul3dd_solver_phase_seconds accumulated wall-clock per solver phase across cached engines\n# TYPE eul3dd_solver_phase_seconds gauge\n")
+	for _, p := range merged.Phases {
+		fmt.Fprintf(&b, "eul3dd_solver_phase_seconds{phase=%q} %.4f\n", p.Name, p.Seconds)
+	}
+	fmt.Fprintf(&b, "# HELP eul3dd_solver_phase_mflops analytic Mflops per solver phase across cached engines\n# TYPE eul3dd_solver_phase_mflops gauge\n")
+	for _, p := range merged.Phases {
+		fmt.Fprintf(&b, "eul3dd_solver_phase_mflops{phase=%q} %.1f\n", p.Name, p.Mflops())
 	}
 	w.Write([]byte(b.String()))
+}
+
+// handleTrace streams the flight recorder as Chrome trace-event JSON,
+// loadable directly in Perfetto or chrome://tracing. 404 when the server
+// was started without tracing.
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := a.s.Tracer()
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, errors.New("serve: tracing disabled (start with -trace)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteChrome(w); err != nil {
+		a.s.cfg.Log.Printf("trace export: %v", err)
+	}
 }

@@ -1,6 +1,10 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"eul3d/internal/trace"
+)
 
 // Metrics holds the service counters. All fields are atomic so job
 // runners, HTTP handlers and the drain path update them without locks;
@@ -20,6 +24,12 @@ type Metrics struct {
 	CacheMisses atomic.Int64 // engine built (or waited on a shared build)
 	Builds      atomic.Int64 // engine constructions actually performed
 	Evictions   atomic.Int64 // engines closed by LRU eviction
+
+	// Latency histograms, rendered as Prometheus histogram series by the
+	// metrics endpoint. QueueWait is admission to dispatch; RunTime is the
+	// solver run alone (queue, governor and engine-acquire time excluded).
+	QueueWait trace.Hist
+	RunTime   trace.Hist
 }
 
 // HitRate returns the engine-cache hit fraction (0 when no lookups yet).

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// HitRate must not divide by zero before any lookup, and must track the
+// hit fraction exactly afterwards.
+func TestHitRateEdges(t *testing.T) {
+	var m Metrics
+	if got := m.HitRate(); got != 0 {
+		t.Fatalf("empty HitRate = %v, want 0", got)
+	}
+	m.CacheMisses.Add(1)
+	if got := m.HitRate(); got != 0 {
+		t.Fatalf("all-miss HitRate = %v, want 0", got)
+	}
+	m.CacheHits.Add(3)
+	if got := m.HitRate(); got != 0.75 {
+		t.Fatalf("HitRate = %v, want 0.75", got)
+	}
+	m.CacheMisses.Store(0)
+	if got := m.HitRate(); got != 1 {
+		t.Fatalf("all-hit HitRate = %v, want 1", got)
+	}
+}
+
+// The counters are bumped from runner goroutines, HTTP handlers and the
+// drain path concurrently; a snapshot taken under contention must still
+// account for every increment once the writers are done.
+func TestMetricsConcurrentCounters(t *testing.T) {
+	var m Metrics
+	const (
+		writers = 8
+		perW    = 1000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				m.Submitted.Add(1)
+				m.Completed.Add(1)
+				m.CacheHits.Add(1)
+				m.QueueWait.Observe(time.Millisecond)
+			}
+		}()
+	}
+	// A concurrent reader must observe monotonically growing, never torn,
+	// values while the writers run.
+	stop := make(chan struct{})
+	go func() {
+		var last int64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := m.Submitted.Load()
+			if v < last {
+				t.Error("Submitted went backwards")
+				return
+			}
+			last = v
+		}
+	}()
+	wg.Wait()
+	close(stop)
+
+	want := int64(writers * perW)
+	if m.Submitted.Load() != want || m.Completed.Load() != want || m.CacheHits.Load() != want {
+		t.Fatalf("counters lost updates: submitted=%d completed=%d hits=%d want %d",
+			m.Submitted.Load(), m.Completed.Load(), m.CacheHits.Load(), want)
+	}
+	if m.QueueWait.Count() != want {
+		t.Fatalf("QueueWait recorded %d observations, want %d", m.QueueWait.Count(), want)
+	}
+	if got := m.HitRate(); got != 1 {
+		t.Fatalf("HitRate = %v, want 1", got)
+	}
+}

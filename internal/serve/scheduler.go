@@ -13,6 +13,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"eul3d/internal/euler"
 	"eul3d/internal/meshio"
 	"eul3d/internal/solver"
+	"eul3d/internal/trace"
 )
 
 // Admission and lifecycle errors surfaced to the HTTP layer.
@@ -131,9 +134,16 @@ func (q jobQueue) Less(a, b int) bool {
 	}
 	return q[a].seq < q[b].seq
 }
-func (q jobQueue) Swap(a, b int)      { q[a], q[b] = q[b], q[a] }
-func (q *jobQueue) Push(x any)        { *q = append(*q, x.(*Job)) }
-func (q *jobQueue) Pop() any          { old := *q; n := len(old); x := old[n-1]; old[n-1] = nil; *q = old[:n-1]; return x }
+func (q jobQueue) Swap(a, b int) { q[a], q[b] = q[b], q[a] }
+func (q *jobQueue) Push(x any)   { *q = append(*q, x.(*Job)) }
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return x
+}
 
 // Config sizes a Scheduler.
 type Config struct {
@@ -143,6 +153,12 @@ type Config struct {
 	CacheCap     int    // idle engines kept warm (default 4)
 	StateDir     string // drain checkpoints + resume sidecars ("" disables)
 	Log          *log.Logger
+
+	// Trace, when set, records every job's lifecycle (queued, governor
+	// wait, engine acquire, run, terminal instant) on a per-job track of
+	// the flight recorder, exposed over GET /debug/trace. Nil disables
+	// service-layer tracing entirely.
+	Trace *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -171,6 +187,7 @@ type Scheduler struct {
 	cache *Cache
 	gov   *Governor
 	met   *Metrics
+	trc   *schedTrace // nil when Config.Trace is nil
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -191,6 +208,7 @@ func NewScheduler(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:   cfg,
 		met:   met,
+		trc:   newSchedTrace(cfg.Trace),
 		cache: NewCache(cfg.CacheCap, met),
 		gov:   NewGovernor(cfg.WorkerBudget),
 		jobs:  make(map[string]*Job),
@@ -211,6 +229,10 @@ func (s *Scheduler) Governor() *Governor { return s.gov }
 
 // Cache returns the engine cache (for gauges and per-engine stats).
 func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Tracer returns the flight recorder the scheduler writes to (nil when
+// tracing is disabled).
+func (s *Scheduler) Tracer() *trace.Tracer { return s.cfg.Trace }
 
 // QueueDepth returns the number of jobs waiting for a runner.
 func (s *Scheduler) QueueDepth() int {
@@ -334,6 +356,13 @@ func (s *Scheduler) dispatch(j *Job) {
 	defer close(j.done)
 	defer j.cancel(nil)
 
+	popped := time.Now()
+	s.met.QueueWait.Observe(popped.Sub(j.enqueued))
+	tk := s.trc.jobTrack(j.ID)
+	if s.trc != nil {
+		tk.Span(s.trc.phQueued, j.enqueued, popped, int64(j.Spec.Priority))
+	}
+
 	// Cancelled or expired while still queued?
 	if err := context.Cause(j.ctx); err != nil {
 		s.finish(j, nil, err)
@@ -369,6 +398,7 @@ func (s *Scheduler) dispatch(j *Job) {
 	j.mu.Unlock()
 
 	nw := j.Spec.pooledWorkers()
+	govStart := time.Now()
 	if err := s.gov.Acquire(ctx, nw); err != nil {
 		if cause := context.Cause(ctx); cause != nil {
 			err = cause
@@ -377,7 +407,11 @@ func (s *Scheduler) dispatch(j *Job) {
 		return
 	}
 	defer s.gov.Release(nw)
+	if s.trc != nil {
+		tk.Span(s.trc.phGovWait, govStart, time.Now(), int64(nw))
+	}
 
+	acqStart := time.Now()
 	eng, err := s.cache.Acquire(ctx, key, func() (*solver.Steady, error) {
 		j.mu.Lock()
 		j.built = true
@@ -392,6 +426,18 @@ func (s *Scheduler) dispatch(j *Job) {
 		return
 	}
 	defer s.cache.Release(eng)
+	if s.trc != nil {
+		acqEnd := time.Now()
+		tk.Span(s.trc.phAcquire, acqStart, acqEnd, 0)
+		j.mu.Lock()
+		built := j.built
+		j.mu.Unlock()
+		if built {
+			tk.Instant(s.trc.phMiss, acqEnd, 0)
+		} else {
+			tk.Instant(s.trc.phHit, acqEnd, 0)
+		}
+	}
 
 	st := eng.Steady()
 	st.Reset()
@@ -401,16 +447,34 @@ func (s *Scheduler) dispatch(j *Job) {
 			return
 		}
 	}
-	res, err := st.Run(solver.Options{
-		MaxCycles: j.Spec.Cycles,
-		Tolerance: j.Spec.Tol,
-		Context:   ctx,
-		Progress: func(cycle int, norm float64) {
-			j.mu.Lock()
-			j.history = append(j.history, norm)
-			j.mu.Unlock()
-		},
+	// The solver goroutine carries pprof labels, so CPU and goroutine
+	// profiles taken through the debug endpoints attribute samples to the
+	// job and engine they served.
+	runStart := time.Now()
+	var res *solver.Result
+	pprof.Do(ctx, pprof.Labels(
+		"job", j.ID, "engine", j.Spec.Engine, "levels", strconv.Itoa(j.Spec.Levels),
+	), func(ctx context.Context) {
+		res, err = st.Run(solver.Options{
+			MaxCycles: j.Spec.Cycles,
+			Tolerance: j.Spec.Tol,
+			Context:   ctx,
+			Progress: func(cycle int, norm float64) {
+				j.mu.Lock()
+				j.history = append(j.history, norm)
+				j.mu.Unlock()
+			},
+		})
 	})
+	runEnd := time.Now()
+	s.met.RunTime.Observe(runEnd.Sub(runStart))
+	if s.trc != nil {
+		var cycles int64
+		if res != nil {
+			cycles = int64(res.Cycles)
+		}
+		tk.Span(s.trc.phRun, runStart, runEnd, cycles)
+	}
 	if err != nil {
 		s.finish(j, nil, err)
 		return
@@ -450,6 +514,7 @@ func (s *Scheduler) finish(j *Job, res *solver.Result, err error) {
 		return
 	}
 	var state JobState
+	var cycles int
 	j.mu.Lock()
 	j.result = res
 	switch {
@@ -469,7 +534,11 @@ func (s *Scheduler) finish(j *Job, res *solver.Result, err error) {
 		s.met.Failed.Add(1)
 	}
 	state = j.state
+	cycles = len(j.history)
 	j.mu.Unlock()
+	if s.trc != nil {
+		s.trc.jobTrack(j.ID).Instant(s.trc.phDone, time.Now(), int64(cycles))
+	}
 	s.removeStateFiles(j.ID)
 	s.cfg.Log.Printf("job %s: %s", j.ID, state)
 }
@@ -487,6 +556,9 @@ func (s *Scheduler) suspend(j *Job, res *solver.Result) {
 	j.result = res
 	j.mu.Unlock()
 	s.met.Drained.Add(1)
+	if s.trc != nil {
+		s.trc.jobTrack(j.ID).Instant(s.trc.phDrain, time.Now(), 0)
+	}
 	s.cfg.Log.Printf("job %s: drained (not started)", j.ID)
 }
 
@@ -548,6 +620,9 @@ func (s *Scheduler) drainCheckpoint(j *Job, st *solver.Steady, res *solver.Resul
 	j.result = res
 	j.mu.Unlock()
 	s.met.Drained.Add(1)
+	if s.trc != nil {
+		s.trc.jobTrack(j.ID).Instant(s.trc.phDrain, time.Now(), int64(res.Cycles))
+	}
 	s.cfg.Log.Printf("job %s: drained at cycle %d", j.ID, res.Cycles)
 }
 
@@ -608,6 +683,9 @@ func (s *Scheduler) Drain() {
 		j.state = StateDrained
 		j.mu.Unlock()
 		s.met.Drained.Add(1)
+		if s.trc != nil {
+			s.trc.jobTrack(j.ID).Instant(s.trc.phDrain, time.Now(), 0)
+		}
 		j.cancel(errDrainStop)
 		close(j.done)
 	}

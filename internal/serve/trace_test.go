@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"eul3d/internal/trace"
+)
+
+// TestSchedulerTrace runs two jobs with the same spec through a traced
+// scheduler: each job must get its own lifecycle track with queued and run
+// spans, the first a cache-miss instant and the second a cache-hit, and
+// the /debug/trace endpoint must serve the whole thing as loadable Chrome
+// trace JSON.
+func TestSchedulerTrace(t *testing.T) {
+	tr := trace.New(256)
+	s := NewScheduler(Config{Runners: 1, Trace: tr})
+	defer s.Stop()
+
+	spec := chanSpec(6, 4, 3, 1, KindSingle, 0, 2)
+	j1, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j1)
+	j2, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, j2)
+
+	phases := func(id string) map[string]int {
+		t.Helper()
+		var tk *trace.Track
+		for _, c := range tr.Tracks() {
+			if c.Name() == "job "+id {
+				tk = c
+			}
+		}
+		if tk == nil {
+			t.Fatalf("no track for job %s", id)
+		}
+		out := map[string]int{}
+		for _, ev := range tk.Events() {
+			out[tr.PhaseName(ev.Phase)]++
+		}
+		return out
+	}
+
+	p1, p2 := phases(j1.ID), phases(j2.ID)
+	for _, ph := range []string{"queued", "engine-acquire", "run", "job-done"} {
+		if p1[ph] == 0 {
+			t.Errorf("job 1 missing %q (%v)", ph, p1)
+		}
+		if p2[ph] == 0 {
+			t.Errorf("job 2 missing %q (%v)", ph, p2)
+		}
+	}
+	if p1["cache-miss"] != 1 {
+		t.Errorf("first job should be a cache miss (%v)", p1)
+	}
+	if p2["cache-hit"] != 1 {
+		t.Errorf("second job should be a cache hit (%v)", p2)
+	}
+
+	// Latency histograms fed by the same dispatch path.
+	m := s.Metrics()
+	if m.QueueWait.Count() != 2 || m.RunTime.Count() != 2 {
+		t.Errorf("hist counts queue=%d run=%d, want 2/2", m.QueueWait.Count(), m.RunTime.Count())
+	}
+
+	// The debug endpoint serves the recorder as valid Chrome trace JSON.
+	srv := httptest.NewServer(NewAPI(s).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace = %d", resp.StatusCode)
+	}
+	if n, err := trace.Validate(resp.Body); err != nil {
+		t.Fatalf("trace endpoint output invalid: %v", err)
+	} else if n == 0 {
+		t.Fatal("trace endpoint produced no events")
+	}
+
+	// Metrics endpoint renders the histograms and the merged phase table.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	raw, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"eul3dd_job_queue_wait_seconds_bucket{le=\"+Inf\"} 2",
+		"eul3dd_job_run_seconds_count 2",
+		"eul3dd_solver_phase_seconds{phase=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestTraceEndpointDisabled: without a tracer the endpoint 404s.
+func TestTraceEndpointDisabled(t *testing.T) {
+	s := NewScheduler(Config{Runners: 1})
+	defer s.Stop()
+	srv := httptest.NewServer(NewAPI(s).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /debug/trace without tracer = %d, want 404", resp.StatusCode)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"eul3d/internal/mesh"
 	"eul3d/internal/multigrid"
 	"eul3d/internal/perf"
+	"eul3d/internal/trace"
 )
 
 // MGLevel is one grid of the pooled multigrid sequence: the FAS state
@@ -59,12 +60,14 @@ type Multigrid struct {
 	// ("L<l> steps/residuals/transfers/corrections"); stepMap[l] collapses
 	// the engine's six step phases onto level l's steps slot.
 	stepMap    [][nPhases]int
-	stepFl     []int64 // one time step on level l
-	residFl    []int64 // one residual evaluation on level l
-	restrictFl []int64 // down-transfer around the l/l+1 pair
-	prolongFl  []int64 // up-transfer around the l/l+1 pair
-	corrFl     []int64 // correction smoothing + update on level l
-	cycleFl    int64   // analytic flops of one full cycle
+	slotPh     []trace.PhaseID // trace phase per accumulator slot (traced only)
+	phLevel    trace.PhaseID   // level-entry instant (arg = level)
+	stepFl     []int64         // one time step on level l
+	residFl    []int64         // one residual evaluation on level l
+	restrictFl []int64         // down-transfer around the l/l+1 pair
+	prolongFl  []int64         // up-transfer around the l/l+1 pair
+	corrFl     []int64         // correction smoothing + update on level l
+	cycleFl    int64           // analytic flops of one full cycle
 }
 
 // NewMultigrid builds a pooled multigrid solver over meshes (finest
@@ -177,6 +180,25 @@ func (mg *Multigrid) Close() {
 	}
 }
 
+// SetTrace attaches a flight-recorder tracer to the pooled engine: worker
+// tracks carry kernel and barrier spans across every level (the kernel
+// span's argument is the color group; the level shows in the "phases"
+// track), and the orchestrator track carries the per-level accumulator
+// phases ("L<l> steps/residuals/transfers/corrections") plus a level-entry
+// instant per cycle visit. Call before the first Cycle.
+func (mg *Multigrid) SetTrace(tr *trace.Tracer) {
+	if tr == nil {
+		return
+	}
+	mg.eng.attachTrace(tr, "")
+	names := mg.eng.acc.Names()
+	mg.slotPh = make([]trace.PhaseID, len(names))
+	for i, n := range names {
+		mg.slotPh[i] = tr.Phase(n)
+	}
+	mg.phLevel = tr.Phase("enter-level")
+}
+
 // Fine returns the finest level.
 func (mg *Multigrid) Fine() *MGLevel { return mg.levels[0] }
 
@@ -236,6 +258,9 @@ func (mg *Multigrid) visitCounts() []int {
 func (mg *Multigrid) tick(slot int, fl int64, t *time.Time) {
 	now := time.Now()
 	mg.eng.acc.Add(slot, now.Sub(*t), fl)
+	if mg.eng.et != nil {
+		mg.eng.et.orch.Span(mg.slotPh[slot], *t, now, 0)
+	}
 	*t = now
 }
 
@@ -254,6 +279,9 @@ func (mg *Multigrid) Cycle() float64 {
 func (mg *Multigrid) cycle(l int) float64 {
 	lev := mg.levels[l]
 	e := &mg.eng
+	if e.et != nil {
+		e.et.orch.Instant(mg.phLevel, time.Now(), int64(l))
+	}
 	e.phaseMap = mg.stepMap[l]
 	norm := e.step(lev.eng, lev.W, lev.Forcing)
 

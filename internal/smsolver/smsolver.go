@@ -37,6 +37,7 @@ import (
 	"eul3d/internal/mesh"
 	"eul3d/internal/multigrid"
 	"eul3d/internal/perf"
+	"eul3d/internal/trace"
 )
 
 // taskKind names one parallel region; exec dispatches on it so that
@@ -199,7 +200,12 @@ func colorSpans(c *color.Coloring, nw int) ([][]span, []int) {
 // every grid of a multigrid sequence.
 type engine struct {
 	pool   *pool
-	execFn func(int) // e.exec, bound once so fork never allocates
+	nw     int
+	execFn func(int) // e.exec (or e.execTraced), bound once so fork never allocates
+
+	// Flight-recorder hooks (trace.go); nil when tracing is disabled, so
+	// the untraced hot path pays one branch.
+	et *engineTrace
 
 	// Instrumentation: engine step phases are charged to acc slots through
 	// phaseMap (identity for the single-grid Solver; collapsed to one
@@ -235,6 +241,7 @@ type engine struct {
 // init starts the pool and binds the dispatch function.
 func (e *engine) init(nworkers int, acc *perf.Accum) {
 	e.acc = acc
+	e.nw = nworkers
 	for i := range e.phaseMap {
 		e.phaseMap[i] = i
 	}
@@ -242,10 +249,18 @@ func (e *engine) init(nworkers int, acc *perf.Accum) {
 	e.execFn = e.exec
 }
 
-// fork publishes the job descriptor and runs one parallel region.
+// fork publishes the job descriptor and runs one parallel region. With a
+// tracer attached it also closes the region on every worker's track with a
+// barrier-wait span (that worker's kernel end → the join).
 func (e *engine) fork(j taskKind, group, active int) {
 	e.job, e.group = j, group
 	e.pool.fork(e.execFn, active)
+	if e.et != nil && active > 1 {
+		join := time.Now()
+		for w := 0; w < active; w++ {
+			e.et.wtracks[w].Span(e.et.phBarrier, e.et.kend[w], join, int64(j))
+		}
+	}
 }
 
 // coloredEdges runs one colored task over every edge group of the current
@@ -403,6 +418,9 @@ func zero(a []euler.State) {
 func (e *engine) tick(phase int, fl int64, t *time.Time) {
 	now := time.Now()
 	e.acc.Add(e.phaseMap[phase], now.Sub(*t), fl)
+	if e.et != nil {
+		e.et.orch.Span(e.et.phasePh[phase], *t, now, 0)
+	}
 	*t = now
 }
 
@@ -418,6 +436,7 @@ func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 	e.lev = lev
 	e.w, e.forcing = w, forcing
 	t := time.Now()
+	stepStart := t
 
 	// Pressures, spectral radii, local time steps; the trailing fused sweep
 	// also zeroes the stage-0 accumulators.
@@ -431,6 +450,7 @@ func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 	norm := 0.0
 	nstages := len(d.P.Stages)
 	for q, alpha := range d.P.Stages {
+		stageStart := t
 		// Convective operator (accumulators were zeroed by the previous
 		// stage's update sweep, or by tDtZero for stage 0).
 		e.coloredEdges(tConvEdges)
@@ -465,6 +485,12 @@ func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 			e.fork(tUpdateNext, 0, lev.vertActive)
 			e.tick(phUpdate, lev.flUpdateNext, &t)
 		}
+		if e.et != nil {
+			e.et.orch.Span(e.et.phStage, stageStart, t, int64(q))
+		}
+	}
+	if e.et != nil {
+		e.et.orch.Span(e.et.phStep, stepStart, t, 0)
 	}
 	e.w, e.forcing = nil, nil
 	return norm
@@ -602,6 +628,12 @@ func (s *Solver) Close() {
 		s.eng.pool = nil
 	}
 }
+
+// SetTrace attaches a flight-recorder tracer: every pooled worker gets a
+// track of kernel and barrier-wait spans, and the orchestrator a "phases"
+// track of step phases and RK stages. Call before the first Step; a nil
+// tracer leaves tracing disabled. Traced steps stay allocation-free.
+func (s *Solver) SetTrace(tr *trace.Tracer) { s.eng.attachTrace(tr, "") }
 
 // NumColors returns the edge and boundary-face group counts.
 func (s *Solver) NumColors() (edges, faces int) {

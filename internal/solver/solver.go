@@ -19,6 +19,7 @@ import (
 	"eul3d/internal/multigrid"
 	"eul3d/internal/perf"
 	"eul3d/internal/smsolver"
+	"eul3d/internal/trace"
 )
 
 // Options controls a steady-state run.
@@ -70,6 +71,15 @@ type stepper interface {
 	stats() perf.Stats
 	initUniform()
 }
+
+// traceable is implemented by the steppers whose engines can attach a
+// flight-recorder tracer (the pooled shared-memory ones).
+type traceable interface {
+	setTrace(tr *trace.Tracer)
+}
+
+func (s *smStepper) setTrace(tr *trace.Tracer)  { s.sm.SetTrace(tr) }
+func (s *smgStepper) setTrace(tr *trace.Tracer) { s.mg.SetTrace(tr) }
 
 type singleStepper struct {
 	d   *euler.Disc
@@ -179,6 +189,18 @@ type Steady struct {
 // Stats returns the per-phase wall-clock and analytic-Mflops breakdown
 // accumulated over every cycle run so far.
 func (st *Steady) Stats() perf.Stats { return st.s.stats() }
+
+// SetTrace attaches a flight-recorder tracer to the underlying engine and
+// reports whether the stepper supports tracing (the pooled shared-memory
+// engines do; the sequential steppers are single timelines the per-phase
+// Stats already describe). Call before the first Run.
+func (st *Steady) SetTrace(tr *trace.Tracer) bool {
+	if t, ok := st.s.(traceable); ok && tr != nil {
+		t.setTrace(tr)
+		return true
+	}
+	return false
+}
 
 // Close releases any resources held by the underlying stepper (the
 // shared-memory worker pool). It is idempotent — including under

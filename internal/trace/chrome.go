@@ -1,0 +1,141 @@
+// Chrome trace-event export and validation. The writer emits the JSON
+// object form ({"traceEvents":[...]}) with hand-formatted records so the
+// field order is stable — golden files diff cleanly — and so the export
+// path has no reflection in it. Timestamps and durations are microseconds
+// with sub-microsecond decimals, per the trace-event spec.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// jsonEscape escapes a string for embedding in a JSON literal. Track and
+// phase names are plain ASCII in practice; this keeps odd ones loadable.
+func jsonEscape(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b[1 : len(b)-1])
+}
+
+// usec renders nanoseconds as microseconds with 3 decimals.
+func usec(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// WriteChrome writes the whole trace in Chrome trace-event JSON. Every
+// track becomes one thread (tid = registration index) of process 1, with a
+// thread_name metadata record so Perfetto labels the row; spans become
+// "ph":"X" complete events and instants "ph":"i" thread-scoped events.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return fmt.Errorf("trace: nil tracer")
+	}
+	var b strings.Builder
+	b.WriteString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(line string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		b.WriteString(line)
+	}
+	for _, tk := range t.Tracks() {
+		emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":1,"tid":%d,"args":{"name":"%s"}}`,
+			tk.id, jsonEscape(tk.name)))
+	}
+	for _, tk := range t.Tracks() {
+		for _, ev := range tk.Events() {
+			name := jsonEscape(t.PhaseName(ev.Phase))
+			switch ev.Kind {
+			case KindSpan:
+				emit(fmt.Sprintf(`{"name":"%s","ph":"X","pid":1,"tid":%d,"ts":%s,"dur":%s,"args":{"arg":%d}}`,
+					name, tk.id, usec(ev.TS), usec(ev.Dur), ev.Arg))
+			case KindInstant:
+				emit(fmt.Sprintf(`{"name":"%s","ph":"i","pid":1,"tid":%d,"ts":%s,"s":"t","args":{"arg":%d}}`,
+					name, tk.id, usec(ev.TS), ev.Arg))
+			}
+		}
+	}
+	b.WriteString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// chromeEvent is the subset of the trace-event record Validate checks.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	PID   *int64         `json:"pid"`
+	TID   *int64         `json:"tid"`
+	TS    *float64       `json:"ts"`
+	Dur   *float64       `json:"dur"`
+	Scope string         `json:"s"`
+	Args  map[string]any `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// Validate parses r as Chrome trace-event JSON and checks the invariants
+// our exporter (and the viewers) rely on: the object form with a
+// traceEvents array, every record carrying a name, a known ph, pid and
+// tid, ts on all non-metadata events, dur on complete events, and a scope
+// on instants. Returns the number of non-metadata events on success. It is
+// shared by the golden test and the trace-smoke gate.
+func Validate(r io.Reader) (int, error) {
+	var f chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return 0, fmt.Errorf("trace: parse: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return 0, fmt.Errorf("trace: missing traceEvents array")
+	}
+	n := 0
+	for i, ev := range f.TraceEvents {
+		if ev.Name == "" {
+			return 0, fmt.Errorf("trace: event %d: empty name", i)
+		}
+		if ev.PID == nil || ev.TID == nil {
+			return 0, fmt.Errorf("trace: event %d (%q): missing pid/tid", i, ev.Name)
+		}
+		switch ev.Phase {
+		case "M":
+			// Metadata: thread_name must carry args.name.
+			if ev.Name == "thread_name" {
+				if _, ok := ev.Args["name"].(string); !ok {
+					return 0, fmt.Errorf("trace: event %d: thread_name without args.name", i)
+				}
+			}
+			continue
+		case "X":
+			if ev.TS == nil || ev.Dur == nil {
+				return 0, fmt.Errorf("trace: event %d (%q): complete event missing ts/dur", i, ev.Name)
+			}
+			if *ev.Dur < 0 {
+				return 0, fmt.Errorf("trace: event %d (%q): negative dur", i, ev.Name)
+			}
+		case "i", "I":
+			if ev.TS == nil {
+				return 0, fmt.Errorf("trace: event %d (%q): instant missing ts", i, ev.Name)
+			}
+			switch ev.Scope {
+			case "", "g", "p", "t":
+			default:
+				return 0, fmt.Errorf("trace: event %d (%q): bad instant scope %q", i, ev.Name, ev.Scope)
+			}
+		default:
+			return 0, fmt.Errorf("trace: event %d (%q): unknown ph %q", i, ev.Name, ev.Phase)
+		}
+		n++
+	}
+	return n, nil
+}

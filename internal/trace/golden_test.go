@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenTracer builds a fixed synthetic event sequence exercising every
+// record shape the exporter emits: multiple tracks, spans with arguments,
+// instants, sub-microsecond timestamps, and a name needing escaping.
+func goldenTracer() *Tracer {
+	tr := NewStartingAt(32, origin)
+	step := tr.Phase("rk-stage")
+	barrier := tr.Phase("barrier")
+	fault := tr.Phase(`fault "node down"`)
+	w0 := tr.Track("worker 0")
+	w1 := tr.Track("worker 1")
+	jobs := tr.TrackCap("job abc123", 16)
+	w0.Span(step, at(0), at(1500), 0)
+	w0.Span(barrier, at(1500), at(1600), 0)
+	w1.Span(step, origin.Add(100*time.Nanosecond), at(1400), 0)
+	w1.Span(barrier, at(1400), at(1600), 0)
+	w0.Span(step, at(1600), at(3100), 1)
+	jobs.Instant(fault, at(2000), 7)
+	return tr
+}
+
+func TestChromeGolden(t *testing.T) {
+	var b strings.Builder
+	if err := goldenTracer().WriteChrome(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	if n, err := Validate(strings.NewReader(got)); err != nil {
+		t.Fatalf("exporter output fails Validate: %v", err)
+	} else if n != 6 {
+		t.Fatalf("Validate counted %d events, want 6", n)
+	}
+
+	golden := filepath.Join("testdata", "chrome_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("export drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteChromeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := goldenTracer().WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := Validate(f); err != nil {
+		t.Fatalf("file dump fails Validate: %v", err)
+	}
+	var nilTr *Tracer
+	if err := nilTr.WriteChromeFile(filepath.Join(t.TempDir(), "x.json")); err == nil {
+		t.Fatal("nil tracer file dump should error")
+	}
+}
