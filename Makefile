@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify serve-smoke trace-smoke bench clean
+.PHONY: all build test race verify serve-smoke cluster-smoke trace-smoke bench clean
 
 all: build
 
@@ -15,16 +15,25 @@ test:
 # the PARTI executors with self-healing receives, the MIMD solver with its
 # recovery orchestrator, the shared-memory worker-pool engine (single-grid
 # and pooled multigrid, V- and W-cycles), the transfer operators the
-# pooled multigrid scatters in parallel, and the flight-recorder tracer
-# whose rings are written from every worker concurrently.
+# pooled multigrid scatters in parallel, the flight-recorder tracer
+# whose rings are written from every worker concurrently, and the cluster
+# coordinator with its health monitors and handoff machinery.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/...
 
 # End-to-end serving smoke: build eul3dd, start it on a random port, run a
 # channel-mesh job to completion, check /metrics, then SIGTERM it mid-job
 # and verify the drain checkpoint resumes on restart.
 serve-smoke:
 	$(GO) test -run TestServeSmoke -count 1 -v ./cmd/eul3dd
+
+# End-to-end fault-tolerance smoke: build eul3dd and eul3dc, start three
+# checkpointing nodes plus the coordinator, kill -9 the node running a job
+# mid-solve, and verify the dead node is marked unhealthy within the
+# heartbeat threshold and every job completes bitwise identical to a
+# single-node reference run.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count 1 -v ./cmd/eul3dc
 
 # Flight-recorder smoke: build eul3d, run it traced on the shared-memory
 # and fault-injected distributed paths, and validate every emitted file as
@@ -33,14 +42,15 @@ trace-smoke:
 	$(GO) test -run TestTraceSmoke -count 1 -v ./cmd/eul3d
 
 # Full gate: vet, all tests, race pass, a short fuzz smoke on the
-# fault-spec parser (errors, never panics), and the serving and tracing
-# smoke tests.
+# fault-spec parser (errors, never panics), and the serving, cluster and
+# tracing smoke tests.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/...
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 2s ./internal/simnet
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/eul3dd
+	$(GO) test -run TestClusterSmoke -count 1 ./cmd/eul3dc
 	$(GO) test -run TestTraceSmoke -count 1 ./cmd/eul3d
 
 # Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,

@@ -1,0 +1,335 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// Heartbeat settings for the smoke cluster: a dead node must be marked
+// unhealthy within missThreshold beats.
+const (
+	smokeHeartbeat     = 100 * time.Millisecond
+	smokeMissThreshold = 3
+)
+
+// TestClusterSmoke is the end-to-end fault-tolerance smoke test behind
+// `make cluster-smoke`: build eul3dd and eul3dc, start three nodes and a
+// coordinator, submit jobs, kill -9 the node running the long job
+// mid-solve, and require (a) the coordinator marks the dead node unhealthy
+// within the heartbeat threshold, and (b) every job completes with results
+// bitwise identical to a single-node reference run.
+func TestClusterSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	ddBin := filepath.Join(bindir, "eul3dd")
+	dcBin := filepath.Join(bindir, "eul3dc")
+	if out, err := exec.Command("go", "build", "-o", ddBin, "../eul3dd").CombinedOutput(); err != nil {
+		t.Fatalf("building eul3dd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", dcBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building eul3dc: %v\n%s", err, out)
+	}
+
+	longJob := `{"mesh":{"nx":8,"ny":4,"nz":3,"seed":17},"mach":0.5,"alpha":1.0,"engine":"sm","workers":2,"cycles":6000}`
+	shortJobs := []string{
+		`{"mesh":{"nx":6,"ny":3,"nz":2,"seed":1},"mach":0.5,"engine":"single","cycles":300}`,
+		`{"mesh":{"nx":6,"ny":3,"nz":2,"seed":2},"mach":0.5,"engine":"single","cycles":300}`,
+	}
+
+	// Reference: the long job on a lone node, no failures.
+	refNode := startProc(t, ddBin, "eul3dd", "-addr", "127.0.0.1:0", "-state-dir", t.TempDir(),
+		"-queue-cap", "8", "-runners", "2", "-worker-budget", "8")
+	refID := submitJob(t, refNode.base, longJob)
+	refView := pollJob(t, refNode.base, refID, 120*time.Second, "completed")
+	if len(refView.History) != 6000 {
+		t.Fatalf("reference history has %d entries, want 6000", len(refView.History))
+	}
+	refNode.cmd.Process.Signal(syscall.SIGTERM)
+
+	// The cluster: three checkpointing nodes plus the coordinator.
+	nodes := map[string]*proc{}
+	nodeFlags := make([]string, 0, 3)
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("n%d", i)
+		p := startProc(t, ddBin, "eul3dd", "-addr", "127.0.0.1:0", "-state-dir", t.TempDir(),
+			"-queue-cap", "8", "-runners", "2", "-worker-budget", "8", "-checkpoint-every", "20")
+		nodes[name] = p
+		nodeFlags = append(nodeFlags, name+"="+p.base)
+	}
+	coord := startProc(t, dcBin, "eul3dc", "-addr", "127.0.0.1:0",
+		"-nodes", strings.Join(nodeFlags, ","),
+		"-heartbeat", smokeHeartbeat.String(),
+		"-miss-threshold", fmt.Sprint(smokeMissThreshold),
+		"-probe-timeout", "2s",
+		"-fetch-interval", "25ms")
+
+	waitForRoutable(t, coord.base, 3)
+
+	longID := submitJob(t, coord.base, longJob)
+	var shortIDs []string
+	for _, body := range shortJobs {
+		shortIDs = append(shortIDs, submitJob(t, coord.base, body))
+	}
+
+	// Wait until the coordinator holds a checkpoint for the long job, then
+	// kill -9 the node running it.
+	victim := waitForCheckpoint(t, coord.base, longID)
+	t.Logf("killing node %s (SIGKILL) with job %s checkpointed", victim, longID)
+	killedAt := time.Now()
+	if err := nodes[victim].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The dead node must show unhealthy in /metrics within the miss
+	// threshold (plus one beat of phase slack and scheduling headroom).
+	wantState := fmt.Sprintf("eul3dc_node_state{node=%q} 3", victim)
+	wantUp := fmt.Sprintf("eul3dc_node_up{node=%q} 0", victim)
+	detectBudget := time.Duration(smokeMissThreshold+1)*smokeHeartbeat + 2*time.Second
+	for {
+		body := httpGetBody(t, coord.base+"/metrics")
+		if strings.Contains(body, wantState) {
+			if !strings.Contains(body, wantUp) {
+				t.Errorf("/metrics marks %s unhealthy but still up", victim)
+			}
+			t.Logf("node %s marked unhealthy after %v", victim, time.Since(killedAt))
+			break
+		}
+		if time.Since(killedAt) > detectBudget {
+			t.Fatalf("node %s not marked unhealthy within %v:\n%s", victim, detectBudget, body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Every job still completes; the long one on a surviving node, bitwise
+	// identical to the reference.
+	v := pollJob(t, coord.base, longID, 180*time.Second, "completed")
+	if v.Node == victim {
+		t.Fatalf("long job reports completion on the killed node %s", victim)
+	}
+	if v.Handoffs < 1 {
+		t.Errorf("long job handoffs = %d, want >= 1", v.Handoffs)
+	}
+	if len(v.History) != len(refView.History) {
+		t.Fatalf("history length %d after handoff, want %d", len(v.History), len(refView.History))
+	}
+	for i := range refView.History {
+		if v.History[i] != refView.History[i] {
+			t.Fatalf("history diverges from reference at cycle %d: %v != %v",
+				i, v.History[i], refView.History[i])
+		}
+	}
+	for _, id := range shortIDs {
+		sv := pollJob(t, coord.base, id, 120*time.Second, "completed")
+		if sv.Cycles != 300 {
+			t.Fatalf("job %s ran %d cycles, want 300", id, sv.Cycles)
+		}
+	}
+
+	// Cluster counters reflect the failure story.
+	body := httpGetBody(t, coord.base+"/metrics")
+	for _, counter := range []string{
+		"eul3dc_jobs_completed_total 3",
+		"eul3dc_handoffs_total",
+		"eul3dc_checkpoint_pulls_total",
+	} {
+		if !strings.Contains(body, counter) {
+			t.Errorf("/metrics missing %q:\n%s", counter, body)
+		}
+	}
+	if m := regexp.MustCompile(`(?m)^eul3dc_handoffs_total (\d+)`).FindStringSubmatch(body); m == nil || m[1] == "0" {
+		t.Errorf("no handoffs counted:\n%s", body)
+	}
+
+	coord.cmd.Process.Signal(syscall.SIGTERM)
+	for name, p := range nodes {
+		if name != victim {
+			p.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+}
+
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+	done chan struct{}
+}
+
+// startProc launches a binary that announces "<name> listening on <addr>"
+// on stdout and waits until its /healthz answers.
+func startProc(t *testing.T, bin, name string, args ...string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, done: make(chan struct{})}
+	go func() { cmd.Wait(); close(p.done) }()
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		select {
+		case <-p.done:
+		case <-time.After(10 * time.Second):
+		}
+	})
+
+	sc := bufio.NewScanner(stdout)
+	linec := make(chan string, 1)
+	go func() {
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on") {
+				linec <- line
+				break
+			}
+		}
+		io.Copy(io.Discard, stdout)
+	}()
+	select {
+	case line := <-linec:
+		p.base = "http://" + line[strings.LastIndex(line, " ")+1:]
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s did not announce its address", name)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := http.Get(p.base + "/healthz"); err == nil {
+			resp.Body.Close()
+			return p
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", name)
+	return nil
+}
+
+// clusterJobView mirrors the coordinator's job JSON (a superset of the
+// node view: placement, handoffs, checkpoint progress, full history).
+type clusterJobView struct {
+	ID              string    `json:"id"`
+	State           string    `json:"state"`
+	Cycles          int       `json:"cycles"`
+	History         []float64 `json:"history"`
+	Error           string    `json:"error"`
+	Node            string    `json:"node"`
+	Handoffs        int       `json:"handoffs"`
+	CheckpointCycle int       `json:"checkpoint_cycle"`
+}
+
+func submitJob(t *testing.T, base, body string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/solve", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /v1/solve: %d %s", resp.StatusCode, b)
+	}
+	var v clusterJobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.ID
+}
+
+func getJobView(t *testing.T, base, id string) clusterJobView {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v clusterJobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func pollJob(t *testing.T, base, id string, timeout time.Duration, want string) clusterJobView {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	var v clusterJobView
+	for time.Now().Before(deadline) {
+		v = getJobView(t, base, id)
+		if v.State == want {
+			return v
+		}
+		if v.State == "failed" {
+			t.Fatalf("job %s failed: %s", id, v.Error)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s stuck in %q (want %q)", id, v.State, want)
+	return v
+}
+
+// waitForCheckpoint polls the coordinator until it has pulled a checkpoint
+// for the job and returns the node the job is running on.
+func waitForCheckpoint(t *testing.T, base, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJobView(t, base, id)
+		if v.CheckpointCycle > 0 && v.Node != "" {
+			return v.Node
+		}
+		if v.State == "completed" {
+			t.Fatal("long job finished before a checkpoint was pulled; raise its cycle count")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("no checkpoint pulled within 60s")
+	return ""
+}
+
+func waitForRoutable(t *testing.T, base string, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		var h struct {
+			Routable int `json:"routable"`
+		}
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			json.NewDecoder(resp.Body).Decode(&h)
+			resp.Body.Close()
+			if h.Routable >= want {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("coordinator never saw %d routable nodes", want)
+}
+
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return string(b)
+}

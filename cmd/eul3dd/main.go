@@ -44,6 +44,7 @@ func main() {
 		workerBudget = flag.Int("worker-budget", 8, "total pooled workers across concurrent jobs")
 		cacheCap     = flag.Int("cache-cap", 4, "idle engines kept warm")
 		stateDir     = flag.String("state-dir", "", "drain checkpoints + resume sidecars (empty disables resume)")
+		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint running jobs every N cycles (with -state-dir; survives SIGKILL, enables cluster handoff)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "grace period for SIGTERM drain")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
 		doTrace      = flag.Bool("trace", false, "enable the flight recorder; dump it as Chrome trace JSON at GET /debug/trace")
@@ -67,13 +68,14 @@ func main() {
 		tracer = trace.New(*traceRing)
 	}
 	sched := serve.NewScheduler(serve.Config{
-		QueueCap:     *queueCap,
-		Runners:      *runners,
-		WorkerBudget: *workerBudget,
-		CacheCap:     *cacheCap,
-		StateDir:     *stateDir,
-		Log:          logger,
-		Trace:        tracer,
+		QueueCap:        *queueCap,
+		Runners:         *runners,
+		WorkerBudget:    *workerBudget,
+		CacheCap:        *cacheCap,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckptEvery,
+		Log:             logger,
+		Trace:           tracer,
 	})
 	if n, err := sched.Recover(); err != nil {
 		logger.Fatalf("recovering state dir: %v", err)

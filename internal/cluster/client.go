@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"eul3d/internal/serve"
+)
+
+// nodeClient speaks the eul3dd HTTP API for one node. All calls take a
+// context; the coordinator bounds them with its probe timeout so a wedged
+// node can't stall the health or watch loops.
+type nodeClient struct {
+	base string // e.g. http://127.0.0.1:8081
+	hc   *http.Client
+}
+
+func newNodeClient(base string, hc *http.Client) *nodeClient {
+	return &nodeClient{base: base, hc: hc}
+}
+
+// retryAfter parses a Retry-After header into a duration (0 when absent or
+// malformed; only the delta-seconds form is produced by eul3dd).
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if sec, err := strconv.Atoi(s); err == nil && sec > 0 {
+			return time.Duration(sec) * time.Second
+		}
+	}
+	return 0
+}
+
+// readyz probes the node's readiness endpoint.
+func (nc *nodeClient) readyz(ctx context.Context) beatResult {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, nc.base+"/readyz", nil)
+	if err != nil {
+		return beatResult{err: err}
+	}
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return beatResult{err: err}
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Status  string `json:"status"`
+		Queued  int    `json:"queued"`
+		Running int    `json:"running"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&v); err != nil {
+		return beatResult{err: fmt.Errorf("decoding readyz: %w", err)}
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return beatResult{load: v.Queued + v.Running}
+	case resp.StatusCode == http.StatusServiceUnavailable && v.Status == "draining":
+		return beatResult{draining: true, load: v.Queued + v.Running}
+	case resp.StatusCode == http.StatusServiceUnavailable && v.Status == "saturated":
+		return beatResult{saturated: true, load: v.Queued + v.Running}
+	}
+	return beatResult{err: fmt.Errorf("readyz: unexpected status %d %q", resp.StatusCode, v.Status)}
+}
+
+// submitRequest mirrors eul3dd's solve body: the spec plus the handoff
+// identity and resume checkpoint.
+type submitRequest struct {
+	serve.JobSpec
+	ID     string `json:"id,omitempty"`
+	Resume string `json:"resume,omitempty"`
+}
+
+// submit dispatches a job to the node. On 202 it returns the node's view.
+// A non-2xx outcome is reported through code (with any Retry-After hint);
+// err is reserved for transport failures.
+func (nc *nodeClient) submit(ctx context.Context, sr submitRequest) (view serve.JobView, code int, after time.Duration, err error) {
+	body, err := json.Marshal(sr)
+	if err != nil {
+		return view, 0, 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, nc.base+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return view, 0, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return view, 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return view, resp.StatusCode, retryAfter(resp), fmt.Errorf("node %s: %d %s", nc.base, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return view, resp.StatusCode, 0, err
+	}
+	return view, resp.StatusCode, 0, nil
+}
+
+// view fetches a job's status.
+func (nc *nodeClient) view(ctx context.Context, id string) (serve.JobView, error) {
+	var v serve.JobView
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, nc.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return v, err
+	}
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return v, fmt.Errorf("node %s: job %s: status %d", nc.base, id, resp.StatusCode)
+	}
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+// cancel requests cooperative cancellation of a job (best effort).
+func (nc *nodeClient) cancel(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, nc.base+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// checkpoint pulls the job's latest periodic checkpoint. A (nil, nil)
+// return means the node has no checkpoint yet.
+func (nc *nodeClient) checkpoint(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, nc.base+"/v1/jobs/"+id+"/checkpoint", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("node %s: checkpoint %s: status %d", nc.base, id, resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+}

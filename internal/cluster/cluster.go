@@ -1,0 +1,772 @@
+// Package cluster turns a fleet of eul3dd nodes into one fault-tolerant
+// solving service. A Coordinator registers nodes, health-checks them with
+// a heartbeat state machine (liveness probes, a missed-beat threshold, and
+// a circuit breaker that quarantines flapping nodes for progressively
+// longer), and routes jobs by consistent-hashing their engine-cache key —
+// so repeat requests for a mesh land on the node whose engine cache is
+// already warm — with work-stealing placement for cold keys.
+//
+// Robustness is the point: every coordinator→node call retries on a
+// jittered exponential backoff that honors Retry-After hints, and each
+// running job's periodic checkpoint is pulled off its node while it runs.
+// When a node dies (SIGKILL, partition) or drains, its in-flight jobs are
+// re-dispatched to healthy nodes from the last pulled checkpoint under
+// their original IDs; because the solver is deterministic and checkpoints
+// are bitwise-exact, a handed-off job's history and solution are bitwise
+// identical to an uninterrupted single-node run. When no node is routable
+// the coordinator degrades instead of queueing unboundedly: submissions
+// are shed with a Retry-After hint until a node recovers.
+//
+// The paper's distributed runs assumed a fixed processor set that survives
+// the whole computation; this layer removes that assumption at the service
+// tier, the way asynchronous task-based solvers decouple work from the
+// process topology.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"sync"
+	"time"
+
+	"eul3d/internal/meshio"
+	"eul3d/internal/serve"
+	"eul3d/internal/trace"
+)
+
+// ErrNoHealthyNodes is returned by Submit while no node is routable; the
+// HTTP layer maps it to 503 with a Retry-After hint (degraded mode: shed,
+// don't queue).
+var ErrNoHealthyNodes = errors.New("cluster: no healthy node available")
+
+// ErrNotFound is returned for unknown job or node names.
+var ErrNotFound = errors.New("cluster: not found")
+
+// Config sizes a Coordinator.
+type Config struct {
+	HeartbeatInterval time.Duration // liveness probe period (default 1s)
+	ProbeTimeout      time.Duration // per-probe budget (default interval/2)
+	CallTimeout       time.Duration // submit/view/checkpoint call budget (default 5s)
+	MissThreshold     int           // consecutive missed beats before unhealthy (default 3)
+	RecoverBeats      int           // good beats to close the breaker (default 2)
+	MaxRecoverBeats   int           // flap-penalty cap (default 32)
+	FlapWindow        time.Duration // a re-failure within this of recovery doubles the quarantine (default 1m)
+	FetchInterval     time.Duration // per-job view + checkpoint poll period (default 250ms)
+	RetryBudget       int           // dispatch attempts per placement round (default 5)
+	BackoffBase       time.Duration // first retry delay (default 100ms)
+	BackoffMax        time.Duration // retry delay cap (default 5s)
+	StealThreshold    int           // ring-owner load above which cold jobs steal (default 1)
+	Replicas          int           // virtual nodes per member on the ring (default 64)
+	ParkTimeout       time.Duration // how long an orphaned job waits for a node before failing (default 2m)
+	Seed              int64         // backoff-jitter seed (0 = fixed default)
+	Log               *log.Logger
+	Trace             *trace.Tracer // nil disables coordinator tracing
+}
+
+func (c *Config) fill() {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.HeartbeatInterval / 2
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 5 * time.Second
+	}
+	if c.MissThreshold <= 0 {
+		c.MissThreshold = 3
+	}
+	if c.RecoverBeats <= 0 {
+		c.RecoverBeats = 2
+	}
+	if c.MaxRecoverBeats <= 0 {
+		c.MaxRecoverBeats = 32
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = time.Minute
+	}
+	if c.FetchInterval <= 0 {
+		c.FetchInterval = 250 * time.Millisecond
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 5
+	}
+	if c.StealThreshold <= 0 {
+		c.StealThreshold = 1
+	}
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.ParkTimeout <= 0 {
+		c.ParkTimeout = 2 * time.Minute
+	}
+	if c.Log == nil {
+		c.Log = log.New(io.Discard, "", 0)
+	}
+}
+
+// Coordinator is the cluster front end: node registry + health monitor +
+// job router. Create with New, register nodes with AddNode, submit with
+// Submit, and Close when done.
+type Coordinator struct {
+	cfg Config
+	met *Metrics
+	trc *clusterTrace
+	bo  *Backoff
+	hc  *http.Client
+
+	mu    sync.Mutex
+	nodes map[string]*node
+	ring  *Ring
+	jobs  map[string]*cjob
+	warm  map[string]string // route key -> node the key's engine is warm on
+
+	stopc   chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// New builds a coordinator with no nodes.
+func New(cfg Config) *Coordinator {
+	cfg.fill()
+	return &Coordinator{
+		cfg:   cfg,
+		met:   &Metrics{},
+		trc:   newClusterTrace(cfg.Trace),
+		bo:    NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
+		hc:    &http.Client{},
+		nodes: make(map[string]*node),
+		ring:  NewRing(cfg.Replicas),
+		jobs:  make(map[string]*cjob),
+		warm:  make(map[string]string),
+		stopc: make(chan struct{}),
+	}
+}
+
+// Metrics returns the coordinator's counter block.
+func (c *Coordinator) Metrics() *Metrics { return c.met }
+
+// Tracer returns the flight recorder (nil when tracing is disabled).
+func (c *Coordinator) Tracer() *trace.Tracer { return c.cfg.Trace }
+
+// AddNode registers a node and starts its heartbeat monitor. Re-adding an
+// existing name updates its URL and clears an operator drain.
+func (c *Coordinator) AddNode(name, url string) error {
+	if name == "" || url == "" {
+		return errors.New("cluster: node name and url required")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return errors.New("cluster: coordinator closed")
+	}
+	if n, ok := c.nodes[name]; ok {
+		n.mu.Lock()
+		n.url = url
+		n.manualDrain = false
+		n.mu.Unlock()
+		n.client = newNodeClient(url, c.hc)
+		return nil
+	}
+	n := &node{name: name, url: url, client: newNodeClient(url, c.hc)}
+	c.nodes[name] = n
+	c.ring.Add(name)
+	c.wg.Add(1)
+	go c.monitorNode(n)
+	c.cfg.Log.Printf("node %s registered at %s", name, url)
+	return nil
+}
+
+// DrainNode marks a node draining from the coordinator's side: no new
+// work is routed to it and its in-flight jobs are handed off to healthy
+// nodes from their last checkpoints (being cancelled on the drained node
+// best-effort). The node's process is left running.
+func (c *Coordinator) DrainNode(name string) error {
+	c.mu.Lock()
+	n, ok := c.nodes[name]
+	c.mu.Unlock()
+	if !ok {
+		return ErrNotFound
+	}
+	n.setManualDrain(true)
+	if tk := c.trc.nodeTrack(name); tk != nil {
+		tk.Instant(c.trc.phState, time.Now(), int64(StatusDraining))
+	}
+	c.cfg.Log.Printf("node %s: operator drain", name)
+	return nil
+}
+
+// NodeViews snapshots every registered node.
+func (c *Coordinator) NodeViews() []NodeView {
+	c.mu.Lock()
+	names := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		names = append(names, n)
+	}
+	c.mu.Unlock()
+	out := make([]NodeView, 0, len(names))
+	for _, n := range names {
+		out = append(out, n.view())
+	}
+	return out
+}
+
+// Close stops the health monitors and job watchers. In-flight jobs keep
+// running on their nodes; the coordinator simply stops observing them.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.stopped = true
+	close(c.stopc)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// sleep waits d or until the coordinator closes; it reports false on close.
+func (c *Coordinator) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.stopc:
+		return false
+	}
+}
+
+// --- health monitoring ----------------------------------------------------
+
+// monitorNode is one node's heartbeat loop: probe /readyz every interval,
+// fold the outcome into the health state machine, and trigger handoff when
+// the node transitions into Unhealthy or Draining.
+func (c *Coordinator) monitorNode(n *node) {
+	defer c.wg.Done()
+	tk := c.trc.nodeTrack(n.name)
+	for {
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeTimeout)
+		b := n.client.readyz(ctx)
+		cancel()
+		if tk != nil {
+			tk.Span(c.trc.phProbe, start, time.Now(), int64(b.load))
+		}
+		if b.err != nil {
+			c.met.BeatMisses.Add(1)
+			if tk != nil {
+				n.mu.Lock()
+				missed := n.missed + 1
+				n.mu.Unlock()
+				tk.Instant(c.trc.phMiss, time.Now(), int64(missed))
+			}
+		}
+		st, changed := n.apply(b, &c.cfg)
+		if changed {
+			if tk != nil {
+				tk.Instant(c.trc.phState, time.Now(), int64(st))
+			}
+			c.cfg.Log.Printf("node %s: %s", n.name, st)
+			if st == StatusUnhealthy || st == StatusDraining {
+				// The per-job watchers notice the status themselves; nothing
+				// to push here. Dropping the warm pins stops fresh jobs from
+				// preferring the dead node.
+				c.dropPins(n.name)
+			}
+		}
+		if !c.sleep(c.cfg.HeartbeatInterval) {
+			return
+		}
+	}
+}
+
+// dropPins forgets warm-key pins to a node that stopped being routable.
+func (c *Coordinator) dropPins(name string) {
+	c.mu.Lock()
+	for k, v := range c.warm {
+		if v == name {
+			delete(c.warm, k)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// routableCount returns how many nodes can accept work right now.
+func (c *Coordinator) routableCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, nd := range c.nodes {
+		if nd.routable() {
+			n++
+		}
+	}
+	return n
+}
+
+// RetryAfterHint is the shed hint in whole seconds: roughly one full
+// failure-detection window, after which a recovered or newly registered
+// node would be routable.
+func (c *Coordinator) RetryAfterHint() int {
+	d := time.Duration(c.cfg.MissThreshold) * c.cfg.HeartbeatInterval
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
+// --- routing --------------------------------------------------------------
+
+// RouteKey condenses the engine-identity fields of a spec — mesh, numeric
+// parameters, engine kind, worker count — into the string the ring hashes.
+// Two jobs with the same RouteKey share a cached engine on whichever node
+// they land, so routing by it pins hot meshes to warm nodes. The spec must
+// be validated (defaults normalized) first.
+func RouteKey(spec serve.JobSpec) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "mesh=%s/%d/%d/%d/%d|mach=%x|alpha=%x|engine=%s|workers=%d|levels=%d|cycle=%s",
+		spec.Mesh.Path, spec.Mesh.NX, spec.Mesh.NY, spec.Mesh.NZ, spec.Mesh.Seed,
+		spec.Mach, spec.AlphaDeg, spec.Engine, spec.Workers, spec.Levels, spec.Cycle)
+	return hex.EncodeToString(h.Sum(nil)[:8])
+}
+
+// route picks the node for key, skipping exclude: the warm pin if
+// routable, else the first routable node in ring order — and for cold keys
+// whose ring owner is already loaded, the least-loaded routable node
+// instead (work stealing). It reports (nil, false) when no node is
+// routable.
+func (c *Coordinator) route(key string, exclude map[string]bool) (*node, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if pin, ok := c.warm[key]; ok && !exclude[pin] {
+		if n := c.nodes[pin]; n != nil && n.routable() {
+			return n, true
+		}
+	}
+	var owner *node
+	for _, name := range c.ring.Order(key) {
+		if exclude[name] {
+			continue
+		}
+		if n := c.nodes[name]; n != nil && n.routable() {
+			owner = n
+			break
+		}
+	}
+	if owner == nil {
+		return nil, false
+	}
+	if _, warm := c.warm[key]; !warm && int(owner.inflight.Load()) >= c.cfg.StealThreshold {
+		// Cold key on a busy owner: nothing is warm anywhere, so place it
+		// wherever the queue is shortest.
+		best := owner
+		for name, n := range c.nodes {
+			if exclude[name] || !n.routable() {
+				continue
+			}
+			if n.inflight.Load() < best.inflight.Load() {
+				best = n
+			}
+		}
+		if best != owner {
+			c.met.Steals.Add(1)
+			owner = best
+		}
+	}
+	return owner, true
+}
+
+// pin records that key's engine is now warm on node name.
+func (c *Coordinator) pin(key, name string) {
+	c.mu.Lock()
+	c.warm[key] = name
+	c.mu.Unlock()
+}
+
+// --- jobs -----------------------------------------------------------------
+
+// cjob is one job tracked by the coordinator across placements.
+type cjob struct {
+	ID   string
+	Spec serve.JobSpec
+	key  string
+	done chan struct{}
+
+	mu        sync.Mutex
+	node      string // current placement ("" while unplaced)
+	view      serve.JobView
+	ckpt      []byte // last pulled checkpoint, raw meshio bytes
+	ckptCycle int
+	handoffs  int
+	cancelled bool // cancel requested through the coordinator
+}
+
+// Done returns a channel closed when the job reaches a terminal state (or
+// the coordinator gives up on it).
+func (j *cjob) Done() <-chan struct{} { return j.done }
+
+// JobView is the coordinator's view of a job: the owning node's view plus
+// placement and handoff bookkeeping.
+type JobView struct {
+	serve.JobView
+	Node            string `json:"node,omitempty"`
+	Handoffs        int    `json:"handoffs"`
+	CheckpointCycle int    `json:"checkpoint_cycle,omitempty"`
+}
+
+// View snapshots the job.
+func (j *cjob) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{JobView: j.view, Node: j.node, Handoffs: j.handoffs, CheckpointCycle: j.ckptCycle}
+	v.ID, v.Spec = j.ID, j.Spec
+	if v.State == "" {
+		v.State = serve.StateQueued
+	}
+	return v
+}
+
+func newClusterJobID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err)
+	}
+	return "c" + hex.EncodeToString(b[:])
+}
+
+// Submit validates and accepts a job, returning ErrNoHealthyNodes (shed)
+// while the cluster is fully degraded. Placement, retries and handoffs run
+// asynchronously; watch the job through Done and View.
+func (c *Coordinator) Submit(spec serve.JobSpec) (*cjob, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if c.routableCount() == 0 {
+		c.met.Sheds.Add(1)
+		if tk := c.trc.jobTrack("shed"); tk != nil {
+			tk.Instant(c.trc.phShed, time.Now(), 0)
+		}
+		return nil, ErrNoHealthyNodes
+	}
+	j := &cjob{ID: newClusterJobID(), Spec: spec, key: RouteKey(spec), done: make(chan struct{})}
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return nil, errors.New("cluster: coordinator closed")
+	}
+	c.jobs[j.ID] = j
+	c.wg.Add(1)
+	c.mu.Unlock()
+	c.met.Submitted.Add(1)
+	go c.runJob(j)
+	return j, nil
+}
+
+// Job looks a job up by ID.
+func (c *Coordinator) Job(id string) (*cjob, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return j, nil
+}
+
+// Cancel forwards cooperative cancellation to the job's current node.
+func (c *Coordinator) Cancel(id string) (*cjob, error) {
+	j, err := c.Job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	j.cancelled = true
+	name := j.node
+	j.mu.Unlock()
+	if n := c.nodeByName(name); n != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		defer cancel()
+		n.client.cancel(ctx, id)
+	}
+	return j, nil
+}
+
+func (c *Coordinator) nodeByName(name string) *node {
+	if name == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
+
+// watchOutcome is what one placement's watch loop ended with.
+type watchOutcome int
+
+const (
+	watchDone    watchOutcome = iota // job terminal (or coordinator closed)
+	watchHandoff                     // node died or drained: re-dispatch
+)
+
+// runJob drives one job across placements until it reaches a terminal
+// state: place (with retries and stealing), watch (view + checkpoint
+// polling), and on node death or drain loop back and hand off from the
+// last pulled checkpoint.
+func (c *Coordinator) runJob(j *cjob) {
+	defer c.wg.Done()
+	defer close(j.done)
+	parkDeadline := time.Now().Add(c.cfg.ParkTimeout)
+	for {
+		n, err := c.place(j)
+		if err != nil {
+			if errors.Is(err, ErrNoHealthyNodes) {
+				// Degraded: every node is down or saturated. Park and retry
+				// after a beat; fail only after ParkTimeout so a recovering
+				// cluster picks orphans back up.
+				if time.Now().After(parkDeadline) {
+					c.failJob(j, "no healthy node within park timeout")
+					return
+				}
+				if !c.sleep(c.cfg.HeartbeatInterval) {
+					return
+				}
+				continue
+			}
+			c.failJob(j, err.Error())
+			return
+		}
+		parkDeadline = time.Now().Add(c.cfg.ParkTimeout)
+		switch c.watch(j, n) {
+		case watchDone:
+			return
+		case watchHandoff:
+			n.inflight.Add(-1)
+			j.mu.Lock()
+			j.node = ""
+			j.handoffs++
+			cycle := j.ckptCycle
+			j.mu.Unlock()
+			c.met.Handoffs.Add(1)
+			if tk := c.trc.jobTrack(j.ID); tk != nil {
+				tk.Instant(c.trc.phHandoff, time.Now(), int64(cycle))
+			}
+			// Best-effort cancel on the old node in case it is merely
+			// drained or partitioned, not dead — the job's identity moves
+			// with the coordinator, and a zombie duplicate would only waste
+			// the old node's cycles.
+			if n.statusNow() != StatusUnhealthy {
+				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+				n.client.cancel(ctx, j.ID)
+				cancel()
+			}
+			c.cfg.Log.Printf("job %s: handing off from %s at checkpoint cycle %d", j.ID, n.name, cycle)
+		}
+	}
+}
+
+// place dispatches j to a routed node, retrying across the budget with
+// jittered backoff and honoring Retry-After hints. Nodes that answer 429
+// are excluded for the rest of the round, which is how a saturated ring
+// owner's overflow spreads to its peers.
+func (c *Coordinator) place(j *cjob) (*node, error) {
+	exclude := make(map[string]bool)
+	for attempt := 0; attempt < c.cfg.RetryBudget; attempt++ {
+		select {
+		case <-c.stopc:
+			return nil, errors.New("cluster: coordinator closed")
+		default:
+		}
+		n, ok := c.route(j.key, exclude)
+		if !ok {
+			return nil, ErrNoHealthyNodes
+		}
+		sr := submitRequest{JobSpec: j.Spec, ID: j.ID}
+		j.mu.Lock()
+		if len(j.ckpt) > 0 {
+			sr.Resume = encodeCheckpoint(j.ckpt)
+		}
+		j.mu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		view, code, after, err := n.client.submit(ctx, sr)
+		cancel()
+		if err == nil {
+			n.inflight.Add(1)
+			c.pin(j.key, n.name)
+			j.mu.Lock()
+			j.node = n.name
+			j.view = view
+			j.mu.Unlock()
+			c.met.Dispatches.Add(1)
+			if tk := c.trc.jobTrack(j.ID); tk != nil {
+				tk.Instant(c.trc.phDispatch, time.Now(), int64(attempt))
+			}
+			c.cfg.Log.Printf("job %s: dispatched to %s (attempt %d)", j.ID, n.name, attempt)
+			return n, nil
+		}
+		// Two failure shapes can still mean the node holds the job: a
+		// transport error whose POST landed but whose response was lost,
+		// and a duplicate-ID rejection from a node that flapped unhealthy
+		// while the job kept running on it. Either way, if the node knows
+		// the job, adopt that placement instead of failing — the job's
+		// identity lives with the coordinator, not the placement attempt.
+		if code == 0 || code == http.StatusBadRequest {
+			vctx, vcancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+			if v, verr := n.client.view(vctx, j.ID); verr == nil && v.ID == j.ID {
+				vcancel()
+				n.inflight.Add(1)
+				c.pin(j.key, n.name)
+				j.mu.Lock()
+				j.node = n.name
+				j.view = v
+				j.mu.Unlock()
+				c.met.Dispatches.Add(1)
+				c.cfg.Log.Printf("job %s: adopted existing placement on %s", j.ID, n.name)
+				return n, nil
+			}
+			vcancel()
+		}
+		switch {
+		case code == http.StatusTooManyRequests:
+			exclude[n.name] = true // full queue: steal to a peer this round
+		case code == http.StatusServiceUnavailable:
+			exclude[n.name] = true // draining or refusing: go elsewhere
+		case code >= 400 && code < 500:
+			return nil, fmt.Errorf("cluster: node %s rejected job: %w", n.name, err)
+		}
+		c.met.Retries.Add(1)
+		if tk := c.trc.jobTrack(j.ID); tk != nil {
+			tk.Instant(c.trc.phRetry, time.Now(), int64(attempt))
+		}
+		if !c.sleep(c.bo.DelayAfter(attempt, after)) {
+			return nil, errors.New("cluster: coordinator closed")
+		}
+	}
+	// Budget exhausted without a placement: treat like full degradation so
+	// the caller parks and retries rather than failing the job outright.
+	return nil, ErrNoHealthyNodes
+}
+
+// watch polls the job's view and checkpoint on its node until the job
+// reaches a terminal state or the node stops being a sane host for it.
+func (c *Coordinator) watch(j *cjob, n *node) watchOutcome {
+	misses := 0
+	for {
+		if !c.sleep(c.cfg.FetchInterval) {
+			return watchDone
+		}
+		if st := n.statusNow(); st == StatusUnhealthy || st == StatusDraining {
+			return watchHandoff
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		v, err := n.client.view(ctx, j.ID)
+		cancel()
+		if err != nil {
+			// The health monitor owns death detection, but a node that
+			// answers probes while losing job state (restarted without its
+			// state dir, say) must also trigger a handoff eventually.
+			misses++
+			if misses > c.cfg.MissThreshold {
+				return watchHandoff
+			}
+			continue
+		}
+		misses = 0
+		j.mu.Lock()
+		j.view = v
+		j.mu.Unlock()
+		switch v.State {
+		case serve.StateCompleted, serve.StateFailed, serve.StateCancelled, serve.StateExpired:
+			c.finishJob(j, n, v)
+			return watchDone
+		case serve.StateDrained:
+			// The node checkpointed the job during its own graceful drain;
+			// grab that final checkpoint if the process is still up, then
+			// hand off.
+			c.pullCheckpoint(j, n)
+			return watchHandoff
+		case serve.StateRunning:
+			c.pullCheckpoint(j, n)
+		}
+	}
+}
+
+// pullCheckpoint fetches the job's latest periodic checkpoint from its
+// node and keeps it if it parses (CRC-valid) and is newer than what we
+// hold. The raw bytes are retained for re-upload on handoff.
+func (c *Coordinator) pullCheckpoint(j *cjob, n *node) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	raw, err := n.client.checkpoint(ctx, j.ID)
+	cancel()
+	if err != nil || len(raw) == 0 {
+		return
+	}
+	ck, err := decodeCheckpoint(raw)
+	if err != nil {
+		return // torn or corrupt snapshot: keep the previous one
+	}
+	j.mu.Lock()
+	if ck.Cycle > j.ckptCycle {
+		j.ckpt = raw
+		j.ckptCycle = ck.Cycle
+		c.met.CkptPulls.Add(1)
+		if tk := c.trc.jobTrack(j.ID); tk != nil {
+			tk.Instant(c.trc.phCkpt, time.Now(), int64(ck.Cycle))
+		}
+	}
+	j.mu.Unlock()
+}
+
+// finishJob records a job's terminal view from its node.
+func (c *Coordinator) finishJob(j *cjob, n *node, v serve.JobView) {
+	n.inflight.Add(-1)
+	j.mu.Lock()
+	j.view = v
+	j.mu.Unlock()
+	switch v.State {
+	case serve.StateCompleted:
+		c.met.Completed.Add(1)
+	case serve.StateCancelled:
+		c.met.Cancelled.Add(1)
+	case serve.StateExpired:
+		c.met.Expired.Add(1)
+	default:
+		c.met.Failed.Add(1)
+	}
+	if tk := c.trc.jobTrack(j.ID); tk != nil {
+		tk.Instant(c.trc.phDone, time.Now(), int64(v.Cycles))
+	}
+	c.cfg.Log.Printf("job %s: %s on %s (%d cycles)", j.ID, v.State, n.name, v.Cycles)
+}
+
+// failJob marks a job failed coordinator-side (no node view to mirror).
+func (c *Coordinator) failJob(j *cjob, msg string) {
+	j.mu.Lock()
+	j.view.ID = j.ID
+	j.view.State = serve.StateFailed
+	j.view.Error = msg
+	j.mu.Unlock()
+	c.met.Failed.Add(1)
+	c.cfg.Log.Printf("job %s: failed: %s", j.ID, msg)
+}
+
+// encodeCheckpoint / decodeCheckpoint translate between the raw meshio
+// bytes the nodes serve and the base64 form the solve endpoint accepts.
+func encodeCheckpoint(raw []byte) string {
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+func decodeCheckpoint(raw []byte) (*meshio.Checkpoint, error) {
+	return meshio.ReadCheckpoint(bytes.NewReader(raw))
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+var errBeat = errors.New("probe failed")
+
+func healthCfg() *Config {
+	cfg := &Config{MissThreshold: 3, RecoverBeats: 2, MaxRecoverBeats: 8, FlapWindow: time.Minute}
+	cfg.fill()
+	return cfg
+}
+
+func miss() beatResult       { return beatResult{err: errBeat} }
+func ok(load int) beatResult { return beatResult{load: load} }
+func drainBeat() beatResult  { return beatResult{draining: true} }
+func saturated() beatResult  { return beatResult{saturated: true} }
+func newTestNode() *node     { return &node{name: "n1", url: "http://x"} }
+func feed(n *node, cfg *Config, beats ...beatResult) Status {
+	st := n.statusNow()
+	for _, b := range beats {
+		st, _ = n.apply(b, cfg)
+	}
+	return st
+}
+
+func TestHealthBeatTransitions(t *testing.T) {
+	cfg := healthCfg()
+	cases := []struct {
+		name  string
+		beats []beatResult
+		want  Status
+	}{
+		{"fresh node first ok", []beatResult{ok(0)}, StatusHealthy},
+		{"fresh node first miss stays below threshold", []beatResult{miss()}, StatusUnknown},
+		{"healthy one miss is suspect", []beatResult{ok(0), miss()}, StatusSuspect},
+		{"suspect recovers on one ok", []beatResult{ok(0), miss(), miss(), ok(1)}, StatusHealthy},
+		{"threshold misses open the breaker", []beatResult{ok(0), miss(), miss(), miss()}, StatusUnhealthy},
+		{"one ok does not close the breaker", []beatResult{ok(0), miss(), miss(), miss(), ok(0)}, StatusUnhealthy},
+		{"recover-beats oks close it", []beatResult{ok(0), miss(), miss(), miss(), ok(0), ok(0)}, StatusHealthy},
+		{"a miss resets the recovery streak", []beatResult{ok(0), miss(), miss(), miss(), ok(0), miss(), ok(0)}, StatusUnhealthy},
+		{"announced drain wins over ok history", []beatResult{ok(0), drainBeat()}, StatusDraining},
+		{"drained node that comes back ready is healthy", []beatResult{drainBeat(), ok(0)}, StatusHealthy},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n := newTestNode()
+			if got := feed(n, cfg, tc.beats...); got != tc.want {
+				t.Fatalf("after %d beats: %s, want %s", len(tc.beats), got, tc.want)
+			}
+		})
+	}
+}
+
+func TestHealthRoutability(t *testing.T) {
+	cfg := healthCfg()
+	n := newTestNode()
+	feed(n, cfg, ok(2))
+	if !n.routable() {
+		t.Fatal("healthy node not routable")
+	}
+	// Saturated: alive and healthy, but takes no new work.
+	if st := feed(n, cfg, saturated()); st != StatusHealthy {
+		t.Fatalf("saturated beat left status %s, want healthy", st)
+	}
+	if n.routable() {
+		t.Fatal("saturated node still routable")
+	}
+	feed(n, cfg, ok(1))
+	if !n.routable() {
+		t.Fatal("node not routable after saturation cleared")
+	}
+	feed(n, cfg, miss())
+	if n.routable() {
+		t.Fatal("suspect node routable; new work must avoid it")
+	}
+}
+
+// Flapping doubles the breaker's close requirement up to the cap: a node
+// that dies again right after recovering needs progressively more
+// consecutive good beats before it is trusted with work.
+func TestHealthFlappingDoublesQuarantine(t *testing.T) {
+	cfg := healthCfg() // RecoverBeats 2, MaxRecoverBeats 8
+	n := newTestNode()
+
+	die := func() { feed(n, cfg, miss(), miss(), miss()) }
+	recoverNode := func() {
+		deadline := time.Now().Add(time.Second)
+		for n.statusNow() != StatusHealthy {
+			feed(n, cfg, ok(0))
+			if time.Now().After(deadline) {
+				t.Fatal("node never recovered")
+			}
+		}
+	}
+
+	feed(n, cfg, ok(0))
+	for i, wantNeed := range []int{2, 4, 8, 8} { // doubles, then caps
+		die()
+		n.mu.Lock()
+		need, trips := n.needOK, n.trips
+		n.mu.Unlock()
+		if need != wantNeed {
+			t.Fatalf("flap %d: needOK = %d, want %d", i, need, wantNeed)
+		}
+		if trips != i+1 {
+			t.Fatalf("flap %d: trips = %d, want %d", i, trips, i+1)
+		}
+		// Exactly needOK-1 good beats must NOT close the breaker.
+		for k := 0; k < wantNeed-1; k++ {
+			if st := feed(n, cfg, ok(0)); st != StatusUnhealthy {
+				t.Fatalf("flap %d: breaker closed after %d/%d good beats", i, k+1, wantNeed)
+			}
+		}
+		recoverNode()
+	}
+
+	// A failure outside the flap window resets the penalty to RecoverBeats.
+	n.mu.Lock()
+	n.recoveredAt = time.Now().Add(-2 * cfg.FlapWindow)
+	n.mu.Unlock()
+	die()
+	n.mu.Lock()
+	need := n.needOK
+	n.mu.Unlock()
+	if need != cfg.RecoverBeats {
+		t.Fatalf("needOK after quiet period = %d, want reset to %d", need, cfg.RecoverBeats)
+	}
+}
+
+func TestHealthManualDrainPins(t *testing.T) {
+	cfg := healthCfg()
+	n := newTestNode()
+	feed(n, cfg, ok(0))
+	n.setManualDrain(true)
+	if st := feed(n, cfg, ok(0), ok(0), ok(0)); st != StatusDraining {
+		t.Fatalf("ok beats revived an operator-drained node: %s", st)
+	}
+	if n.routable() {
+		t.Fatal("operator-drained node routable")
+	}
+	n.setManualDrain(false)
+	if st := feed(n, cfg, ok(0)); st != StatusHealthy {
+		t.Fatalf("released node not healthy after ok beat: %s", st)
+	}
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eul3d/internal/serve"
+)
+
+// API is the HTTP facade over a Coordinator:
+//
+//	POST   /v1/solve             submit a JobSpec; ?wait=1 (or "wait":true) blocks
+//	GET    /v1/jobs/{id}         cluster job view (node, handoffs, checkpoint cycle)
+//	DELETE /v1/jobs/{id}         cooperative cancellation (forwarded)
+//	GET    /v1/nodes             node registry with health states
+//	POST   /v1/nodes             register a node: {"name":..., "url":...}
+//	POST   /v1/nodes/{name}/drain  operator drain: stop routing, hand off
+//	GET    /healthz              coordinator liveness
+//	GET    /metrics              Prometheus-style text metrics
+//	GET    /debug/trace          flight-recorder dump (Chrome trace-event JSON)
+type API struct {
+	c *Coordinator
+}
+
+// NewAPI wraps a coordinator.
+func NewAPI(c *Coordinator) *API { return &API{c: c} }
+
+// Handler builds the route table.
+func (a *API) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", a.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", a.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancelJob)
+	mux.HandleFunc("GET /v1/nodes", a.handleGetNodes)
+	mux.HandleFunc("POST /v1/nodes", a.handleAddNode)
+	mux.HandleFunc("POST /v1/nodes/{name}/drain", a.handleDrainNode)
+	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /metrics", a.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", a.handleTrace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+type solveRequest struct {
+	serve.JobSpec
+	Wait bool `json:"wait,omitempty"`
+}
+
+func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req solveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		req.Wait = true
+	}
+	j, err := a.c.Submit(req.JobSpec)
+	switch {
+	case errors.Is(err, ErrNoHealthyNodes):
+		// Degraded mode: shed with a hint instead of queueing unboundedly.
+		w.Header().Set("Retry-After", strconv.Itoa(a.c.RetryAfterHint()))
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, j.View())
+		return
+	}
+	select {
+	case <-j.Done():
+		writeJSON(w, http.StatusOK, j.View())
+	case <-r.Context().Done():
+		writeJSON(w, http.StatusAccepted, j.View())
+	}
+}
+
+func (a *API) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, err := a.c.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (a *API) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, err := a.c.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+func (a *API) handleGetNodes(w http.ResponseWriter, r *http.Request) {
+	views := a.c.NodeViews()
+	sort.Slice(views, func(i, k int) bool { return views[i].Name < views[k].Name })
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (a *API) handleAddNode(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name string `json:"name"`
+		URL  string `json:"url"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := a.c.AddNode(req.Name, req.URL); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "registered", "name": req.Name})
+}
+
+func (a *API) handleDrainNode(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := a.c.DrainNode(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "draining", "name": name})
+}
+
+func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"nodes":    len(a.c.NodeViews()),
+		"routable": a.c.routableCount(),
+	})
+}
+
+// handleMetrics renders the cluster metrics in the Prometheus text format
+// (hand-rolled, matching eul3dd's endpoint).
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var b strings.Builder
+	m := a.c.Metrics()
+
+	counter := func(name string, v int64, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("eul3dc_jobs_submitted_total", m.Submitted.Load(), "jobs accepted by the coordinator")
+	counter("eul3dc_jobs_completed_total", m.Completed.Load(), "jobs completed on some node")
+	counter("eul3dc_jobs_failed_total", m.Failed.Load(), "jobs failed")
+	counter("eul3dc_jobs_cancelled_total", m.Cancelled.Load(), "jobs cancelled")
+	counter("eul3dc_jobs_expired_total", m.Expired.Load(), "jobs past their deadline")
+	counter("eul3dc_dispatches_total", m.Dispatches.Load(), "successful placements incl. handoffs")
+	counter("eul3dc_dispatch_retries_total", m.Retries.Load(), "dispatch attempts retried with backoff")
+	counter("eul3dc_handoffs_total", m.Handoffs.Load(), "jobs re-dispatched from a checkpoint")
+	counter("eul3dc_steals_total", m.Steals.Load(), "cold jobs placed off-ring by load")
+	counter("eul3dc_sheds_total", m.Sheds.Load(), "submissions shed in degraded mode")
+	counter("eul3dc_checkpoint_pulls_total", m.CkptPulls.Load(), "checkpoints pulled off running nodes")
+	counter("eul3dc_beat_misses_total", m.BeatMisses.Load(), "failed liveness probes")
+
+	views := a.c.NodeViews()
+	sort.Slice(views, func(i, k int) bool { return views[i].Name < views[k].Name })
+	gaugeHead := func(name, help string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+	}
+	gaugeHead("eul3dc_node_up", "1 while the node is routable (healthy and not saturated)")
+	for _, v := range views {
+		up := 0
+		if v.Status == "healthy" && !v.Saturated {
+			up = 1
+		}
+		fmt.Fprintf(&b, "eul3dc_node_up{node=%q} %d\n", v.Name, up)
+	}
+	gaugeHead("eul3dc_node_state", "health state machine position (0 unknown, 1 healthy, 2 suspect, 3 unhealthy, 4 draining)")
+	for _, v := range views {
+		fmt.Fprintf(&b, "eul3dc_node_state{node=%q} %d\n", v.Name, statusCode(v.Status))
+	}
+	gaugeHead("eul3dc_node_missed_beats", "consecutive failed probes")
+	for _, v := range views {
+		fmt.Fprintf(&b, "eul3dc_node_missed_beats{node=%q} %d\n", v.Name, v.Missed)
+	}
+	gaugeHead("eul3dc_node_load", "queued+running the node last reported")
+	for _, v := range views {
+		fmt.Fprintf(&b, "eul3dc_node_load{node=%q} %d\n", v.Name, v.Load)
+	}
+	gaugeHead("eul3dc_node_inflight", "jobs this coordinator has placed on the node")
+	for _, v := range views {
+		fmt.Fprintf(&b, "eul3dc_node_inflight{node=%q} %d\n", v.Name, v.Inflight)
+	}
+	gaugeHead("eul3dc_node_breaker_trips", "times the node's circuit breaker opened")
+	for _, v := range views {
+		fmt.Fprintf(&b, "eul3dc_node_breaker_trips{node=%q} %d\n", v.Name, v.Trips)
+	}
+	w.Write([]byte(b.String()))
+}
+
+func statusCode(s string) int {
+	switch s {
+	case "healthy":
+		return int(StatusHealthy)
+	case "suspect":
+		return int(StatusSuspect)
+	case "unhealthy":
+		return int(StatusUnhealthy)
+	case "draining":
+		return int(StatusDraining)
+	}
+	return int(StatusUnknown)
+}
+
+// handleTrace streams the coordinator's flight recorder as Chrome
+// trace-event JSON; 404 when tracing is disabled.
+func (a *API) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := a.c.Tracer()
+	if tr == nil {
+		writeErr(w, http.StatusNotFound, errors.New("cluster: tracing disabled (start with -trace)"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := tr.WriteChrome(w); err != nil {
+		a.c.cfg.Log.Printf("trace export: %v", err)
+	}
+}

@@ -1,0 +1,21 @@
+package cluster
+
+import "sync/atomic"
+
+// Metrics holds the coordinator's counters. All fields are atomic; the
+// per-node gauges (status, load, inflight, breaker trips) are read live
+// from the registry when /metrics renders.
+type Metrics struct {
+	Submitted  atomic.Int64 // jobs accepted by the coordinator
+	Completed  atomic.Int64 // jobs that reached completed on some node
+	Failed     atomic.Int64 // jobs that failed (node error, divergence, dispatch exhausted)
+	Cancelled  atomic.Int64 // jobs cancelled via the coordinator
+	Expired    atomic.Int64 // jobs that blew their deadline on a node
+	Dispatches atomic.Int64 // successful placements (first placement + handoffs)
+	Retries    atomic.Int64 // dispatch attempts that were retried (429/503/transport)
+	Handoffs   atomic.Int64 // re-dispatches from a checkpoint after node death/drain
+	Steals     atomic.Int64 // cold jobs placed off-ring on the least-loaded node
+	Sheds      atomic.Int64 // submissions refused with Retry-After (no routable node)
+	CkptPulls  atomic.Int64 // checkpoint snapshots pulled off running nodes
+	BeatMisses atomic.Int64 // failed liveness probes across all nodes
+}

@@ -1,22 +1,32 @@
 package serve
 
 import (
+	"bytes"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 
+	"eul3d/internal/meshio"
 	"eul3d/internal/perf"
 )
 
 // API is the HTTP facade over a Scheduler:
 //
-//	POST   /v1/solve     submit a JobSpec; ?wait=1 (or "wait":true) blocks
+//	POST   /v1/solve     submit a JobSpec; ?wait=1 (or "wait":true) blocks;
+//	                     "id" and "resume" (base64 checkpoint) hand off an
+//	                     interrupted job from another node
 //	GET    /v1/jobs/{id} job status + residual history so far
 //	DELETE /v1/jobs/{id} cooperative cancellation
-//	GET    /healthz      liveness + drain state
+//	GET    /v1/jobs/{id}/checkpoint  latest periodic checkpoint (binary)
+//	GET    /healthz      liveness: 200 while the process serves requests
+//	GET    /readyz       readiness: 503 while draining or saturated
 //	GET    /metrics      Prometheus-style text metrics
 //	GET    /debug/trace  flight-recorder dump (Chrome trace-event JSON)
 type API struct {
@@ -32,7 +42,9 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", a.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancelJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", a.handleJobCheckpoint)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
+	mux.HandleFunc("GET /readyz", a.handleReadyz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
 	mux.HandleFunc("GET /debug/trace", a.handleTrace)
 	return mux
@@ -48,15 +60,19 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
 }
 
-// solveRequest is a JobSpec plus the synchronous-wait flag.
+// solveRequest is a JobSpec plus the synchronous-wait flag and the cluster
+// handoff fields: ID pins the job's identity across nodes and Resume is a
+// base64 meshio checkpoint the run warm-starts from.
 type solveRequest struct {
 	JobSpec
-	Wait bool `json:"wait,omitempty"`
+	Wait   bool   `json:"wait,omitempty"`
+	ID     string `json:"id,omitempty"`
+	Resume string `json:"resume,omitempty"`
 }
 
 func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req solveRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
@@ -65,12 +81,36 @@ func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "1" {
 		req.Wait = true
 	}
-	j, err := a.s.Submit(req.JobSpec)
+	var ck *meshio.Checkpoint
+	if req.Resume != "" {
+		raw, err := base64.StdEncoding.DecodeString(req.Resume)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding resume checkpoint: %w", err))
+			return
+		}
+		// ReadCheckpoint verifies the CRC trailer, so a truncated or
+		// corrupted handoff is rejected here rather than warm-starting the
+		// solver from garbage.
+		ck, err = meshio.ReadCheckpoint(bytes.NewReader(raw))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing resume checkpoint: %w", err))
+			return
+		}
+	}
+	var j *Job
+	var err error
+	if req.ID != "" || ck != nil {
+		j, err = a.s.SubmitResume(req.ID, req.JobSpec, ck)
+	} else {
+		j, err = a.s.Submit(req.JobSpec)
+	}
 	switch {
 	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(a.s.RetryAfterHint()))
 		writeErr(w, http.StatusTooManyRequests, err)
 		return
 	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(a.s.RetryAfterHint()))
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	case err != nil:
@@ -108,6 +148,8 @@ func (a *API) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.View())
 }
 
+// handleHealthz is the liveness probe: 200 for as long as the process can
+// serve requests at all, even while draining. Routability is /readyz's job.
 func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	if a.s.Draining() {
@@ -118,6 +160,65 @@ func (a *API) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"queued":  a.s.QueueDepth(),
 		"running": a.s.Running(),
 	})
+}
+
+// readyView is the /readyz body; coordinators use Queued+Running as the
+// node's load signal for work-stealing placement.
+type readyView struct {
+	Status   string `json:"status"` // ready | draining | saturated
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	QueueCap int    `json:"queue_cap"`
+}
+
+// handleReadyz is the readiness probe: 503 (with Retry-After) while the
+// server is draining or its admission queue is full, so a coordinator
+// stops routing to the node before requests start bouncing — and, in the
+// drain case, before the process exits.
+func (a *API) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	v := readyView{
+		Status:   "ready",
+		Queued:   a.s.QueueDepth(),
+		Running:  a.s.Running(),
+		QueueCap: a.s.QueueCap(),
+	}
+	code := http.StatusOK
+	switch {
+	case a.s.Draining():
+		v.Status, code = "draining", http.StatusServiceUnavailable
+	case a.s.Saturated():
+		v.Status, code = "saturated", http.StatusServiceUnavailable
+	}
+	if code != http.StatusOK {
+		w.Header().Set("Retry-After", strconv.Itoa(a.s.RetryAfterHint()))
+	}
+	writeJSON(w, code, v)
+}
+
+// handleJobCheckpoint streams the job's latest periodic checkpoint in the
+// binary meshio format. 404 until the first checkpoint cycle completes (or
+// when the server runs without -checkpoint-every). The coordinator polls
+// this while the job runs; whatever snapshot it last pulled is what a
+// handoff resumes from if this node dies without warning.
+func (a *API) handleJobCheckpoint(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, err := a.s.Job(id); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	path := a.s.CheckpointFile(id)
+	if path == "" {
+		writeErr(w, http.StatusNotFound, errors.New("serve: no checkpoint yet"))
+		return
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	io.Copy(w, f)
 }
 
 // handleMetrics renders the service metrics in the Prometheus text

@@ -154,6 +154,14 @@ type Config struct {
 	StateDir     string // drain checkpoints + resume sidecars ("" disables)
 	Log          *log.Logger
 
+	// CheckpointEvery, when positive (and StateDir is set), checkpoints
+	// every running job each CheckpointEvery cycles, and persists a restart
+	// sidecar the moment the job starts running. The node then survives
+	// SIGKILL — a restart resumes from the last periodic checkpoint — and a
+	// cluster coordinator can pull the live checkpoint over
+	// GET /v1/jobs/{id}/checkpoint and hand the job to another node.
+	CheckpointEvery int
+
 	// Trace, when set, records every job's lifecycle (queued, governor
 	// wait, engine acquire, run, terminal instant) on a per-job track of
 	// the flight recorder, exposed over GET /debug/trace. Nil disables
@@ -255,6 +263,57 @@ func (s *Scheduler) Draining() bool {
 	return s.draining
 }
 
+// QueueCap returns the admission queue capacity.
+func (s *Scheduler) QueueCap() int { return s.cfg.QueueCap }
+
+// Saturated reports whether the admission queue is full — the next Submit
+// would be rejected with ErrQueueFull. /readyz turns this into a 503 so a
+// cluster coordinator routes around the node before piling more work on.
+func (s *Scheduler) Saturated() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue) >= s.cfg.QueueCap
+}
+
+// RetryAfterHint estimates, in whole seconds, how long a rejected client
+// should wait before retrying. While draining the hint is a flat 10s (this
+// process is going away; the retry must land elsewhere or after restart).
+// When the queue is full the hint scales with the backlog: mean observed
+// run time times the jobs ahead, divided across the runners.
+func (s *Scheduler) RetryAfterHint() int {
+	if s.Draining() {
+		return 10
+	}
+	mean := 500 * time.Millisecond
+	if n := s.met.RunTime.Count(); n > 0 {
+		mean = s.met.RunTime.Sum() / time.Duration(n)
+	}
+	est := mean * time.Duration(s.QueueDepth()+1) / time.Duration(s.cfg.Runners)
+	sec := int((est + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// CheckpointFile returns the path of the job's latest on-disk checkpoint,
+// or "" when none exists (checkpointing disabled, or no cycle boundary
+// reached yet). The file is written atomically, so a concurrent reader
+// always sees a complete, CRC-valid snapshot.
+func (s *Scheduler) CheckpointFile(id string) string {
+	if s.cfg.StateDir == "" {
+		return ""
+	}
+	p := s.ckptPath(id)
+	if _, err := os.Stat(p); err != nil {
+		return ""
+	}
+	return p
+}
+
 func newJobID() string {
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
@@ -276,6 +335,25 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	return s.admit(&Job{ID: newJobID(), Spec: spec})
 }
 
+// SubmitResume admits a job under a caller-chosen ID, optionally
+// warm-started from a checkpoint. It is the handoff entry point: a cluster
+// coordinator re-dispatches an interrupted job to this node under its
+// original ID, resuming from the last checkpoint it pulled off the dying
+// node. An empty id falls back to a generated one; a nil ck starts from
+// scratch.
+func (s *Scheduler) SubmitResume(id string, spec JobSpec, ck *meshio.Checkpoint) (*Job, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.pooledWorkers() > s.gov.Cap() {
+		return nil, fmt.Errorf("serve: job wants %d workers, budget is %d", spec.pooledWorkers(), s.gov.Cap())
+	}
+	if id == "" {
+		id = newJobID()
+	}
+	return s.admit(&Job{ID: id, Spec: spec, resume: ck})
+}
+
 // admit enqueues a prepared job (fresh or recovered).
 func (s *Scheduler) admit(j *Job) (*Job, error) {
 	s.mu.Lock()
@@ -287,6 +365,20 @@ func (s *Scheduler) admit(j *Job) (*Job, error) {
 		s.mu.Unlock()
 		s.met.Rejected.Add(1)
 		return nil, ErrQueueFull
+	}
+	if old, dup := s.jobs[j.ID]; dup {
+		// A finished (or drained) record under the same ID is superseded:
+		// a coordinator re-dispatching a job it previously drained off this
+		// node must be able to reuse the job's pinned identity. Only a live
+		// duplicate — still queued or running — is a real conflict.
+		select {
+		case <-old.Done():
+			s.removeStateFiles(old.ID)
+			delete(s.jobs, old.ID)
+		default:
+			s.mu.Unlock()
+			return nil, fmt.Errorf("serve: job id %q already in use", j.ID)
+		}
 	}
 	j.state = StateQueued
 	j.enqueued = time.Now()
@@ -447,6 +539,29 @@ func (s *Scheduler) dispatch(j *Job) {
 			return
 		}
 	}
+	opts := solver.Options{
+		MaxCycles: j.Spec.Cycles,
+		Tolerance: j.Spec.Tol,
+		Context:   ctx,
+		Progress: func(cycle int, norm float64) {
+			j.mu.Lock()
+			j.history = append(j.history, norm)
+			j.mu.Unlock()
+		},
+	}
+	if s.cfg.CheckpointEvery > 0 && s.cfg.StateDir != "" {
+		// Periodic checkpoints make the job survivable without a graceful
+		// drain: a SIGKILLed node resumes it on restart (the sidecar is
+		// written up front), and a coordinator can pull the checkpoint file
+		// while the job runs and hand it to another node.
+		opts.CheckpointEvery = s.cfg.CheckpointEvery
+		opts.CheckpointPath = s.ckptPath(j.ID)
+		opts.Mach = j.Spec.Mach
+		opts.AlphaDeg = j.Spec.AlphaDeg
+		if err := s.writeSidecar(sidecar{ID: j.ID, Spec: j.Spec, Checkpoint: j.ID + ".ckpt"}); err != nil {
+			s.cfg.Log.Printf("job %s: persisting run sidecar: %v", j.ID, err)
+		}
+	}
 	// The solver goroutine carries pprof labels, so CPU and goroutine
 	// profiles taken through the debug endpoints attribute samples to the
 	// job and engine they served.
@@ -455,16 +570,7 @@ func (s *Scheduler) dispatch(j *Job) {
 	pprof.Do(ctx, pprof.Labels(
 		"job", j.ID, "engine", j.Spec.Engine, "levels", strconv.Itoa(j.Spec.Levels),
 	), func(ctx context.Context) {
-		res, err = st.Run(solver.Options{
-			MaxCycles: j.Spec.Cycles,
-			Tolerance: j.Spec.Tol,
-			Context:   ctx,
-			Progress: func(cycle int, norm float64) {
-				j.mu.Lock()
-				j.history = append(j.history, norm)
-				j.mu.Unlock()
-			},
-		})
+		res, err = st.Run(opts)
 	})
 	runEnd := time.Now()
 	s.met.RunTime.Observe(runEnd.Sub(runStart))
