@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify serve-smoke cluster-smoke trace-smoke bench clean
+.PHONY: all build test race verify serve-smoke cluster-smoke trace-smoke bench bench-check clean
 
 all: build
 
@@ -52,12 +52,23 @@ verify: build
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/eul3dd
 	$(GO) test -run TestClusterSmoke -count 1 ./cmd/eul3dc
 	$(GO) test -run TestTraceSmoke -count 1 ./cmd/eul3d
+	$(MAKE) bench-check
 
 # Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,
 # which writes its results to BENCH_smsolver.json.
 bench:
 	$(GO) test -run XXX -bench . -benchtime 1x ./...
 	$(GO) run ./cmd/benchsm -out BENCH_smsolver.json
+
+# Benchmark-honesty gate: a short strict benchsm pass that refuses to run
+# any series with more workers than the host has CPUs (a GOMAXPROCS-blind
+# series time-slices its workers on one core and records fictional
+# speedups), plus a check that the committed BENCH_smsolver.json contains
+# no series whose recorded gomaxprocs is below its worker count.
+bench-check:
+	$(GO) run ./cmd/benchsm -strict -workers auto -nx 10 -ny 6 -nz 4 \
+		-steps 4 -warmup 1 -levels 2 -cycles 3 -out /tmp/bench-check.json
+	$(GO) run ./cmd/benchcheck BENCH_smsolver.json /tmp/bench-check.json
 
 clean:
 	$(GO) clean ./...

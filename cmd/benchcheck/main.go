@@ -1,0 +1,74 @@
+// Command benchcheck lints recorded benchsm artifacts for the honesty
+// contract `make bench-check` gates on: every series must have been run
+// with GOMAXPROCS pinned to its worker count (gomaxprocs >= workers), and
+// any series whose worker count exceeds the recording host's CPU count
+// must be marked invalid — its workers were time-slicing cores, so its
+// speedup is fiction. Exits nonzero naming every violation.
+//
+// Usage: benchcheck FILE...
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+)
+
+type series struct {
+	Workers    int  `json:"workers"`
+	GOMAXPROCS int  `json:"gomaxprocs"`
+	Valid      bool `json:"valid"`
+}
+
+type artifact struct {
+	NumCPU    int      `json:"num_cpu"`
+	Results   []series `json:"results"`
+	Multigrid *struct {
+		Results []series `json:"results"`
+	} `json:"multigrid"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchcheck: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: benchcheck FILE...")
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var a artifact
+		if err := json.Unmarshal(data, &a); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		all := a.Results
+		if a.Multigrid != nil {
+			all = append(all, a.Multigrid.Results...)
+		}
+		if len(all) == 0 {
+			log.Printf("%s: no benchmark series recorded", path)
+			bad++
+			continue
+		}
+		for _, s := range all {
+			switch {
+			case s.GOMAXPROCS < s.Workers:
+				log.Printf("%s: series workers=%d ran at gomaxprocs=%d — not pinned; its timings are not a parallel measurement",
+					path, s.Workers, s.GOMAXPROCS)
+				bad++
+			case s.Valid && a.NumCPU > 0 && s.Workers > a.NumCPU:
+				log.Printf("%s: series workers=%d marked valid on a %d-CPU host — oversubscribed series must be invalid",
+					path, s.Workers, a.NumCPU)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		log.Fatalf("%d violation(s)", bad)
+	}
+	fmt.Printf("benchcheck: %d file(s) ok\n", len(os.Args)-1)
+}

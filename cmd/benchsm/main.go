@@ -6,12 +6,23 @@
 // worker, and the per-step allocation count — which the pool engine keeps
 // at zero. With -levels > 1 a second series benchmarks full FAS multigrid
 // cycles on the same worker pool (per-cycle wall clock, Mflops from the
-// analytic cycle flop count, speedup, allocations).
+// analytic cycle flop count, speedup, allocations), against a serial
+// multigrid reference timed on the same meshes.
+//
+// Honesty contract: every series pins runtime.GOMAXPROCS to its worker
+// count and records the effective value per result. A series asking for
+// more workers than the host has CPUs cannot demonstrate parallel speedup
+// — the workers time-slice one another — so it is marked "valid": false
+// and excluded from speedup baselines (and rejected outright under
+// -strict, the mode `make bench-check` gates on). An earlier revision of
+// this tool ran every series at the parent's GOMAXPROCS (recorded once,
+// globally), which silently produced a BENCH_smsolver.json full of ~1.0×
+// "speedups" measured on a single scheduled core.
 //
 // Usage:
 //
-//	benchsm -nx 24 -ny 12 -nz 8 -steps 40 -workers 1,2,4,8 -out BENCH_smsolver.json
-//	benchsm -levels 3 -gamma 2 -cycles 20
+//	benchsm -nx 24 -ny 12 -nz 8 -steps 40 -workers auto -out BENCH_smsolver.json
+//	benchsm -levels 3 -gamma 2 -cycles 20 -strict
 package main
 
 import (
@@ -29,12 +40,15 @@ import (
 	"eul3d/internal/euler"
 	"eul3d/internal/flops"
 	"eul3d/internal/meshgen"
+	"eul3d/internal/multigrid"
 	"eul3d/internal/smsolver"
 	"eul3d/internal/trace"
 )
 
 type workerResult struct {
 	Workers       int     `json:"workers"`
+	GOMAXPROCS    int     `json:"gomaxprocs"` // effective GOMAXPROCS while this series ran
+	Valid         bool    `json:"valid"`      // false when the host has fewer CPUs than workers
 	NsPerStep     int64   `json:"ns_per_step"`
 	Mflops        float64 `json:"mflops"`
 	SpeedupVs1    float64 `json:"speedup_vs_1"`
@@ -43,18 +57,22 @@ type workerResult struct {
 
 type mgWorkerResult struct {
 	Workers        int     `json:"workers"`
+	GOMAXPROCS     int     `json:"gomaxprocs"`
+	Valid          bool    `json:"valid"`
 	NsPerCycle     int64   `json:"ns_per_cycle"`
 	Mflops         float64 `json:"mflops"`
 	SpeedupVs1     float64 `json:"speedup_vs_1"`
+	SpeedupVsSer   float64 `json:"speedup_vs_serial"`
 	AllocsPerCycle float64 `json:"allocs_per_cycle"`
 }
 
 type mgSeries struct {
-	Levels        int              `json:"levels"`
-	Gamma         int              `json:"gamma"`
-	Cycles        int              `json:"cycles"`
-	FlopsPerCycle int64            `json:"flops_per_cycle"`
-	Results       []mgWorkerResult `json:"results"`
+	Levels         int              `json:"levels"`
+	Gamma          int              `json:"gamma"`
+	Cycles         int              `json:"cycles"`
+	FlopsPerCycle  int64            `json:"flops_per_cycle"`
+	SerialNsPerCyc int64            `json:"serial_ns_per_cycle"` // multigrid.Solver reference
+	Results        []mgWorkerResult `json:"results"`
 }
 
 type report struct {
@@ -65,11 +83,12 @@ type report struct {
 		Tets       int   `json:"tets"`
 		Seed       int64 `json:"seed"`
 	} `json:"mesh"`
-	GOMAXPROCS   int            `json:"gomaxprocs"`
-	Steps        int            `json:"steps"`
-	FlopsPerStep int64          `json:"flops_per_step"`
-	Results      []workerResult `json:"results"`
-	Multigrid    *mgSeries      `json:"multigrid,omitempty"`
+	NumCPU        int            `json:"num_cpu"`
+	Steps         int            `json:"steps"`
+	FlopsPerStep  int64          `json:"flops_per_step"`
+	SerialNsPerSt int64          `json:"serial_ns_per_step"` // euler.Disc reference
+	Results       []workerResult `json:"results"`
+	Multigrid     *mgSeries      `json:"multigrid,omitempty"`
 }
 
 func main() {
@@ -80,15 +99,17 @@ func main() {
 		seed    = flag.Int64("seed", 17, "mesh jitter seed")
 		steps   = flag.Int("steps", 40, "timed steps per worker count")
 		warmup  = flag.Int("warmup", 5, "untimed warm-up steps per worker count")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+		workers = flag.String("workers", "auto", `comma-separated worker counts, or "auto" for doubling counts up to the host CPU count`)
 		levels  = flag.Int("levels", 3, "multigrid levels for the pooled-multigrid series (<2 = skip)")
 		gamma   = flag.Int("gamma", 2, "multigrid cycle index (1 = V, 2 = W)")
 		cycles  = flag.Int("cycles", 20, "timed multigrid cycles per worker count")
+		strict  = flag.Bool("strict", false, "exit nonzero instead of recording a series with workers > host CPUs")
 		out     = flag.String("out", "BENCH_smsolver.json", "output JSON path")
 		trcPath = flag.String("trace", "", "after the sweep, run a short traced burst at the highest worker count and write the Chrome trace timeline here")
 	)
 	flag.Parse()
 
+	ncpu := runtime.NumCPU()
 	spec := meshgen.DefaultChannel(*nx, *ny, *nz, *seed)
 	m, err := meshgen.Channel(spec)
 	if err != nil {
@@ -99,26 +120,55 @@ func main() {
 	var rep report
 	rep.Mesh.Vertices, rep.Mesh.Edges, rep.Mesh.Tets = m.NV(), m.NE(), m.NT()
 	rep.Mesh.Seed = *seed
-	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	rep.NumCPU = ncpu
 	rep.Steps = *steps
 	rep.FlopsPerStep = flops.Step(int64(m.NV()), int64(m.NE()), int64(len(m.BFaces)),
 		len(p.Stages), euler.DissipStages, p.NSmooth)
 
-	fmt.Printf("mesh: %d vertices, %d edges (GOMAXPROCS=%d)\n",
-		m.NV(), m.NE(), rep.GOMAXPROCS)
-	fmt.Printf("%8s %14s %10s %10s %8s\n", "workers", "ns/step", "Mflops", "speedup", "allocs")
-
-	var workerList []int
-	for _, tok := range strings.Split(*workers, ",") {
-		nw, err := strconv.Atoi(strings.TrimSpace(tok))
-		if err != nil || nw < 1 {
-			log.Fatalf("benchsm: bad -workers entry %q", tok)
-		}
-		workerList = append(workerList, nw)
+	workerList, err := parseWorkers(*workers, ncpu)
+	if err != nil {
+		log.Fatalf("benchsm: %v", err)
 	}
+	if *strict {
+		for _, nw := range workerList {
+			if nw > ncpu {
+				log.Fatalf("benchsm: -strict: series workers=%d exceeds host CPU count %d — "+
+					"its speedups would be fiction; drop the series or run on a bigger machine", nw, ncpu)
+			}
+		}
+	}
+
+	fmt.Printf("mesh: %d vertices, %d edges (host CPUs: %d)\n", m.NV(), m.NE(), ncpu)
+
+	// Serial single-grid reference: the sequential euler.Disc stepper, no
+	// pool, no colors — the baseline the paper's speedups are against.
+	serialStep := func() int64 {
+		d := euler.NewDisc(m, p)
+		ws := euler.NewStepWorkspace(m.NV())
+		w := make([]euler.State, m.NV())
+		d.InitUniform(w)
+		for i := 0; i < *warmup; i++ {
+			d.Step(w, nil, ws)
+		}
+		t0 := time.Now()
+		for i := 0; i < *steps; i++ {
+			d.Step(w, nil, ws)
+		}
+		return time.Since(t0).Nanoseconds() / int64(*steps)
+	}
+	rep.SerialNsPerSt = serialStep()
+	fmt.Printf("serial reference: %d ns/step\n", rep.SerialNsPerSt)
+	fmt.Printf("%8s %11s %6s %14s %10s %10s %8s\n",
+		"workers", "gomaxprocs", "valid", "ns/step", "Mflops", "speedup", "allocs")
 
 	var base float64
 	for _, nw := range workerList {
+		// Pin the scheduler to the series' worker count: speedup at nw
+		// workers is only meaningful when nw cores may actually run them.
+		runtime.GOMAXPROCS(nw)
+		gmp := runtime.GOMAXPROCS(0)
+		valid := nw <= ncpu
+
 		s, err := smsolver.New(m, p, nw)
 		if err != nil {
 			log.Fatalf("benchsm: %v", err)
@@ -138,18 +188,26 @@ func main() {
 
 		r := workerResult{
 			Workers:       nw,
+			GOMAXPROCS:    gmp,
+			Valid:         valid,
 			NsPerStep:     elapsed.Nanoseconds() / int64(*steps),
 			AllocsPerStep: allocs,
 		}
 		perStep := elapsed.Seconds() / float64(*steps)
 		r.Mflops = float64(rep.FlopsPerStep) / perStep / 1e6
-		if base == 0 {
+		if base == 0 && valid && nw == 1 {
 			base = perStep
 		}
-		r.SpeedupVs1 = base / perStep
+		if base != 0 {
+			r.SpeedupVs1 = base / perStep
+		}
 		rep.Results = append(rep.Results, r)
-		fmt.Printf("%8d %14d %10.0f %10.2f %8.0f\n",
-			r.Workers, r.NsPerStep, r.Mflops, r.SpeedupVs1, r.AllocsPerStep)
+		note := ""
+		if !valid {
+			note = "  INVALID: oversubscribed (host has only " + strconv.Itoa(ncpu) + " CPUs)"
+		}
+		fmt.Printf("%8d %11d %6v %14d %10.0f %10.2f %8.0f%s\n",
+			r.Workers, r.GOMAXPROCS, r.Valid, r.NsPerStep, r.Mflops, r.SpeedupVs1, r.AllocsPerStep, note)
 	}
 
 	if *levels > 1 {
@@ -158,10 +216,33 @@ func main() {
 			log.Fatalf("benchsm: %v", err)
 		}
 		ser := &mgSeries{Levels: *levels, Gamma: *gamma, Cycles: *cycles}
-		fmt.Printf("\npooled multigrid: %d levels, gamma=%d\n", *levels, *gamma)
-		fmt.Printf("%8s %14s %10s %10s %8s\n", "workers", "ns/cycle", "Mflops", "speedup", "allocs")
+
+		// Serial multigrid reference on the same mesh sequence — the bar a
+		// pooled cycle must clear at every worker count.
+		runtime.GOMAXPROCS(1)
+		smg, err := multigrid.New(seq, p, *gamma)
+		if err != nil {
+			log.Fatalf("benchsm: %v", err)
+		}
+		for i := 0; i < *warmup; i++ {
+			smg.Cycle()
+		}
+		t0 := time.Now()
+		for i := 0; i < *cycles; i++ {
+			smg.Cycle()
+		}
+		ser.SerialNsPerCyc = time.Since(t0).Nanoseconds() / int64(*cycles)
+
+		fmt.Printf("\npooled multigrid: %d levels, gamma=%d (serial reference: %d ns/cycle)\n",
+			*levels, *gamma, ser.SerialNsPerCyc)
+		fmt.Printf("%8s %11s %6s %14s %10s %10s %10s %8s\n",
+			"workers", "gomaxprocs", "valid", "ns/cycle", "Mflops", "speedup", "vs-serial", "allocs")
 		var mgBase float64
 		for _, nw := range workerList {
+			runtime.GOMAXPROCS(nw)
+			gmp := runtime.GOMAXPROCS(0)
+			valid := nw <= ncpu
+
 			mg, err := smsolver.NewMultigrid(seq, p, *gamma, nw)
 			if err != nil {
 				log.Fatalf("benchsm: %v", err)
@@ -180,18 +261,27 @@ func main() {
 
 			r := mgWorkerResult{
 				Workers:        nw,
+				GOMAXPROCS:     gmp,
+				Valid:          valid,
 				NsPerCycle:     elapsed.Nanoseconds() / int64(*cycles),
 				AllocsPerCycle: allocs,
 			}
 			perCycle := elapsed.Seconds() / float64(*cycles)
 			r.Mflops = float64(ser.FlopsPerCycle) / perCycle / 1e6
-			if mgBase == 0 {
+			if mgBase == 0 && valid && nw == 1 {
 				mgBase = perCycle
 			}
-			r.SpeedupVs1 = mgBase / perCycle
+			if mgBase != 0 {
+				r.SpeedupVs1 = mgBase / perCycle
+			}
+			r.SpeedupVsSer = float64(ser.SerialNsPerCyc) / 1e9 / perCycle
 			ser.Results = append(ser.Results, r)
-			fmt.Printf("%8d %14d %10.0f %10.2f %8.0f\n",
-				r.Workers, r.NsPerCycle, r.Mflops, r.SpeedupVs1, r.AllocsPerCycle)
+			note := ""
+			if !valid {
+				note = "  INVALID: oversubscribed"
+			}
+			fmt.Printf("%8d %11d %6v %14d %10.0f %10.2f %10.2f %8.0f%s\n",
+				r.Workers, r.GOMAXPROCS, r.Valid, r.NsPerCycle, r.Mflops, r.SpeedupVs1, r.SpeedupVsSer, r.AllocsPerCycle, note)
 		}
 		rep.Multigrid = ser
 	}
@@ -201,6 +291,7 @@ func main() {
 	// the per-worker timeline for inspection in Perfetto.
 	if *trcPath != "" {
 		nw := workerList[len(workerList)-1]
+		runtime.GOMAXPROCS(nw)
 		s, err := smsolver.New(m, p, nw)
 		if err != nil {
 			log.Fatalf("benchsm: %v", err)
@@ -228,4 +319,27 @@ func main() {
 		log.Fatalf("benchsm: %v", err)
 	}
 	fmt.Printf("written to %s\n", *out)
+}
+
+// parseWorkers expands the -workers flag: either an explicit
+// comma-separated list, or "auto" — doubling counts 1,2,4,... up to and
+// including the host CPU count, so the sweep never asks for a series the
+// host cannot honestly run.
+func parseWorkers(spec string, ncpu int) ([]int, error) {
+	if strings.TrimSpace(spec) == "auto" {
+		var list []int
+		for nw := 1; nw < ncpu; nw *= 2 {
+			list = append(list, nw)
+		}
+		return append(list, ncpu), nil
+	}
+	var list []int
+	for _, tok := range strings.Split(spec, ",") {
+		nw, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || nw < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q", tok)
+		}
+		list = append(list, nw)
+	}
+	return list, nil
 }

@@ -2,6 +2,8 @@ package smsolver
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 	"testing"
 
 	"eul3d/internal/euler"
@@ -35,3 +37,59 @@ func BenchmarkStep(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkNormPartials measures the cost of concurrent writers
+// accumulating into adjacent norm-block partials in the packed layout
+// (plain []float64 — partials of neighbouring blocks share cache lines,
+// so writers at a chunk boundary false-share) against the padded
+// []normSlot layout the engine uses (one 64-byte line per partial).
+// On a multi-core host the packed variant degrades as GOMAXPROCS grows;
+// with one core the two coincide — the bench records the layout cost
+// either way.
+func BenchmarkNormPartials(b *testing.B) {
+	nw := runtime.GOMAXPROCS(0)
+	const blocksPerWorker = 4
+
+	b.Run("packed", func(b *testing.B) {
+		partial := make([]float64, nw*blocksPerWorker)
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for wk := 0; wk < nw; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				base := wk * blocksPerWorker
+				for it := 0; it < b.N; it++ {
+					for blk := 0; blk < blocksPerWorker; blk++ {
+						partial[base+blk] += 1.5
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+		benchSink = partial[0]
+	})
+
+	b.Run("padded", func(b *testing.B) {
+		partial := make([]normSlot, nw*blocksPerWorker)
+		var wg sync.WaitGroup
+		b.ResetTimer()
+		for wk := 0; wk < nw; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				base := wk * blocksPerWorker
+				for it := 0; it < b.N; it++ {
+					for blk := 0; blk < blocksPerWorker; blk++ {
+						partial[base+blk].v += 1.5
+					}
+				}
+			}(wk)
+		}
+		wg.Wait()
+		benchSink = partial[0].v
+	})
+}
+
+// benchSink defeats dead-code elimination of the benchmark accumulators.
+var benchSink float64

@@ -1,0 +1,114 @@
+package smsolver
+
+import (
+	"testing"
+
+	"eul3d/internal/euler"
+)
+
+// withCutoff runs fn with SerialCutoffEdges pinned to the given value and
+// restores the default afterwards.
+func withCutoff(t *testing.T, cutoff int, fn func()) {
+	t.Helper()
+	old := SerialCutoffEdges
+	SerialCutoffEdges = cutoff
+	defer func() { SerialCutoffEdges = old }()
+	fn()
+}
+
+// TestSerialCutoffBitwise asserts the serial-fallback contract: a solver
+// whose levels all fall below SerialCutoffEdges (every region runs inline
+// on the caller, no barrier ever crossed) produces bitwise-identical
+// norms and states to one whose levels are all pooled across workers.
+// Inlining is purely an execution-policy change — the chunk tables
+// degenerate to one span, but the color order and the block-ordered norm
+// reduction are untouched.
+func TestSerialCutoffBitwise(t *testing.T) {
+	p := euler.DefaultParams(0.675, 0)
+	const cycles, steps = 4, 4
+
+	t.Run("single-grid", func(t *testing.T) {
+		m := testMesh(t)
+		run := func(cutoff int) ([]float64, []euler.State) {
+			var norms []float64
+			var w []euler.State
+			withCutoff(t, cutoff, func() {
+				s, err := New(m, p, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer s.Close()
+				w = make([]euler.State, m.NV())
+				s.InitUniform(w)
+				for c := 0; c < steps; c++ {
+					norms = append(norms, s.Step(w, nil))
+				}
+			})
+			return norms, w
+		}
+		pooledN, pooledW := run(0)       // below every mesh: all levels pooled
+		serialN, serialW := run(1 << 30) // above every mesh: all levels inline
+		for c := range pooledN {
+			if pooledN[c] != serialN[c] {
+				t.Fatalf("step %d norm: pooled %v, serial-cutoff %v", c, pooledN[c], serialN[c])
+			}
+		}
+		for i := range pooledW {
+			if pooledW[i] != serialW[i] {
+				t.Fatalf("vertex %d: pooled %v, serial-cutoff %v", i, pooledW[i], serialW[i])
+			}
+		}
+	})
+
+	t.Run("multigrid", func(t *testing.T) {
+		meshes := testSequence(t, 3)
+		run := func(cutoff int) ([]float64, []euler.State) {
+			var norms []float64
+			var w []euler.State
+			withCutoff(t, cutoff, func() {
+				mg, err := NewMultigrid(meshes, p, 2, 4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer mg.Close()
+				for c := 0; c < cycles; c++ {
+					norms = append(norms, mg.Cycle())
+				}
+				w = append([]euler.State(nil), mg.Fine().W...)
+			})
+			return norms, w
+		}
+		pooledN, pooledW := run(0)
+		serialN, serialW := run(1 << 30)
+		for c := range pooledN {
+			if pooledN[c] != serialN[c] {
+				t.Fatalf("cycle %d norm: pooled %v, serial-cutoff %v", c, pooledN[c], serialN[c])
+			}
+		}
+		for i := range pooledW {
+			if pooledW[i] != serialW[i] {
+				t.Fatalf("vertex %d: pooled %v, serial-cutoff %v", i, pooledW[i], serialW[i])
+			}
+		}
+	})
+}
+
+// TestSerialCutoffZeroAllocs checks that the inline path keeps the
+// zero-allocation contract of the pooled one.
+func TestSerialCutoffZeroAllocs(t *testing.T) {
+	m := testMesh(t)
+	p := euler.DefaultParams(0.675, 0)
+	withCutoff(t, 1<<30, func() {
+		s, err := New(m, p, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		w := make([]euler.State, m.NV())
+		s.InitUniform(w)
+		s.Step(w, nil)
+		if allocs := testing.AllocsPerRun(5, func() { s.Step(w, nil) }); allocs != 0 {
+			t.Fatalf("serial-cutoff step allocates %v times per run", allocs)
+		}
+	})
+}

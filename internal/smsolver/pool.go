@@ -26,7 +26,14 @@ const minChunk = 256
 
 // buildSpans splits [0,n) into contiguous chunks for up to nw workers and
 // returns the per-worker spans (always nw entries; trailing ones may be
-// empty) and the number of workers that actually receive work.
+// empty) and the number of workers that actually receive work. The split is
+// balanced by element count: every active worker gets ⌊n/active⌋ or
+// ⌈n/active⌉ elements (the remainder spread one-per-worker from the front),
+// rather than the ceil-sized uniform index ranges the engine used to cut,
+// which could leave the last worker with an arbitrarily short tail chunk —
+// at high worker counts on per-color tables that tail imbalance is pure
+// barrier wait. Chunk boundaries never affect results: within a color group
+// no two elements share a vertex.
 func buildSpans(n, nw int) ([]span, int) {
 	active := n / minChunk
 	if active < 1 {
@@ -36,17 +43,15 @@ func buildSpans(n, nw int) ([]span, int) {
 		active = nw
 	}
 	spans := make([]span, nw)
-	chunk := (n + active - 1) / active
+	q, r := n/active, n%active
+	lo := 0
 	for w := 0; w < active; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo > hi {
-			lo = hi
+		hi := lo + q
+		if w < r {
+			hi++
 		}
 		spans[w] = span{lo, hi}
+		lo = hi
 	}
 	return spans, active
 }

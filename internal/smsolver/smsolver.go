@@ -15,14 +15,23 @@
 //
 // Execution uses a persistent worker pool (see pool.go): the workers are
 // spawned once, parked between parallel regions, and driven through
-// prebuilt per-color chunk tables; adjacent zero/copy sweeps are fused
-// into the neighbouring vertex kernels and all scratch is solver-owned,
-// so a steady-state Step (and multigrid Cycle) performs zero heap
-// allocations. The engine/levelEngine split in this file lets the same N
-// parked workers drive either a single grid (Solver) or every level of a
-// FAS multigrid sequence (Multigrid, multigrid.go). Close releases the
-// workers; a solver dropped without Close is cleaned up by the garbage
-// collector.
+// prebuilt per-color chunk tables balanced by element count; adjacent
+// zero/copy sweeps are fused into the neighbouring vertex kernels and all
+// scratch is solver-owned, so a steady-state Step (and multigrid Cycle)
+// performs zero heap allocations. The hot path — flux and dissipation
+// accumulation over the colored edge groups, the Jacobi smoothing sweeps,
+// and the fused vertex updates — runs on a structure-of-arrays state
+// layout (euler.StateSoA: five contiguous component streams instead of
+// 40-byte records), converting from the public []State interfaces inside
+// the fused preamble and update sweeps; the per-block residual-norm
+// partials are padded to cache-line boundaries so concurrent block writers
+// never share a line. Grid levels below SerialCutoffEdges skip the
+// fork/join barrier entirely and run every region inline on the caller —
+// chunking and inlining never affect results. The engine/levelEngine split
+// in this file lets the same N parked workers drive either a single grid
+// (Solver) or every level of a FAS multigrid sequence (Multigrid,
+// multigrid.go). Close releases the workers; a solver dropped without
+// Close is cleaned up by the garbage collector.
 package smsolver
 
 import (
@@ -40,35 +49,53 @@ import (
 	"eul3d/internal/trace"
 )
 
+// SerialCutoffEdges is the serial-fallback work threshold: a grid level
+// with fewer edges than this runs every parallel region inline on the
+// calling goroutine, skipping the fork/join barrier entirely. On the
+// coarse levels of a multigrid sequence the per-color chunks shrink to a
+// handful of edges, and the barrier latency of ~30 color groups per sweep
+// dominates the arithmetic — the main reason a pooled multigrid cycle used
+// to lose to the serial one at 2–8 workers. Results are unaffected
+// (chunking never changes the accumulation order within a color), which
+// TestSerialCutoffBitwise asserts. Tests that need the pooled path on
+// small meshes set this to 0; the default is tuned so channel-mesh coarse
+// levels (≲2.5k edges) serialize while paper-scale fine grids stay pooled.
+var SerialCutoffEdges = 4096
+
 // taskKind names one parallel region; exec dispatches on it so that
 // forking never builds a closure.
 type taskKind uint8
 
 const (
-	tInit          taskKind = iota // w0 snapshot + pressures + lam reset (fused)
-	tLamEdges                      // colored: edge spectral radii
-	tLamFaces                      // colored: boundary-face spectral radii
-	tDtZero                        // local time steps + stage-0 accumulator zeroing (fused)
-	tConvEdges                     // colored: convective fluxes
-	tConvFaces                     // colored: boundary closure
-	tDiss1                         // colored: Laplacian + sensor sums
-	tNu                            // sensor sums -> shock switch
-	tDiss2                         // colored: blended dissipative flux
-	tCombine                       // res = conv - diss (+ forcing)
-	tNorm                          // block partial sums of the residual norm
-	tSmoothStart                   // rhs copy + first-sweep zeroing (fused)
-	tSmoothAccum                   // colored: Jacobi neighbour gather
-	tSmoothCombine                 // Jacobi combine + next-sweep zeroing (fused)
-	tCopyRes                       // copy smoothed result back (odd sweep counts)
-	tUpdate                        // RK update (final stage)
-	tUpdateNext                    // RK update + next-stage pressures + zeroing (fused)
-	tResInit                       // pressures + accumulator zeroing (standalone residual)
-	tInterp                        // inter-grid interpolation over a target chunk
-	tScatter                       // destination-grouped residual restriction rows
-	tRepairSave                    // repair restricted states + snapshot (fused)
-	tCorrDelta                     // coarse correction delta W - WSaved
-	tForcingSub                    // FAS forcing P = R' - R(w')
-	tApplyCorr                     // guarded application of the prolonged correction
+	tInit           taskKind = iota // SoA load + w0 snapshot + pressures + lam reset (fused)
+	tLamEdges                       // colored: edge spectral radii
+	tLamFaces                       // colored: boundary-face spectral radii
+	tDtZero                         // local time steps + stage-0 accumulator zeroing (fused)
+	tConvEdges                      // colored: convective fluxes
+	tConvFaces                      // colored: boundary closure
+	tDiss1                          // colored: Laplacian + sensor sums
+	tNu                             // sensor sums -> shock switch
+	tDiss2                          // colored: blended dissipative flux
+	tCombine                        // resS = convS - dissS (+ forcing), SoA
+	tCombineOut                     // res = convS - dissS (+ forcing), []State out
+	tNorm                           // block partial sums of the residual norm
+	tSmoothStart                    // rhs copy + first-sweep zeroing (fused, []State)
+	tSmoothAccum                    // colored: Jacobi neighbour gather ([]State)
+	tSmoothCombine                  // Jacobi combine + next-sweep zeroing (fused, []State)
+	tCopyRes                        // copy smoothed result back ([]State, odd sweep counts)
+	tSmoothStartS                   // rhs copy + first-sweep zeroing (fused, SoA)
+	tSmoothAccumS                   // colored: Jacobi neighbour gather (SoA)
+	tSmoothCombineS                 // Jacobi combine + next-sweep zeroing (fused, SoA)
+	tCopyResS                       // copy smoothed result back (SoA, odd sweep counts)
+	tUpdate                         // RK update scattered to []State (final stage)
+	tUpdateNext                     // RK update + next-stage pressures + zeroing (fused, SoA)
+	tResInit                        // SoA load + pressures + accumulator zeroing (standalone residual)
+	tInterp                         // inter-grid interpolation over a target chunk
+	tScatter                        // destination-grouped residual restriction rows
+	tRepairSave                     // repair restricted states + snapshot (fused)
+	tCorrDelta                      // coarse correction delta W - WSaved
+	tForcingSub                     // FAS forcing P = R' - R(w')
+	tApplyCorr                      // guarded application of the prolonged correction
 )
 
 // Instrumented phases of one time step (the engine's internal phase
@@ -90,22 +117,48 @@ var phaseNames = [nPhases]string{"timestep", "convective", "dissipation", "resid
 // and identical to the sequential solver's blocked reduction.
 const normBlock = euler.NormBlock
 
+// normSlot holds one norm-block partial padded out to a full 64-byte cache
+// line. Workers write disjoint contiguous block ranges of the partial
+// table; without padding the blocks at each range boundary share a line
+// and the concurrent writers ping-pong it (false sharing). Padding costs
+// nv/4096 * 56 bytes and keeps every writer on private lines; the
+// reduction still reads slot.v in block order, so the rounded norm is
+// unchanged.
+type normSlot struct {
+	v float64
+	_ [56]byte
+}
+
 // levelEngine holds everything the worker pool needs to run the scheme on
 // one mesh: the discretization, the colorings, the prebuilt chunk tables,
 // the per-step scratch and the analytic flop charges. A single-grid
 // Solver owns one; a Multigrid owns one per level, all driven by the same
 // engine (and thus the same parked workers).
+//
+// The step-path scratch is SoA (euler.StateSoA): the solution block wS and
+// stage-0 snapshot w0S are loaded from the caller's []State in the fused
+// init sweep, the edge kernels accumulate into convS/dissS/laplS, the
+// smoother ping-pongs resS against smoothS, and the final-stage update
+// scatters straight back to []State. res keeps the []State layout because
+// the multigrid transfer operators consume it directly.
 type levelEngine struct {
 	d          *euler.Disc
 	edgeColors *color.Coloring
 	faceColors *color.Coloring
 
-	w0, conv, diss, res []euler.State
-	normPartial         []float64
+	wS, w0S      *euler.StateSoA
+	convS, dissS *euler.StateSoA
+	resS, laplS  *euler.StateSoA
+	smoothS      *euler.StateSoA // SoA smoothing ping-pong scratch
+	rhsS         *euler.StateSoA // SoA smoothing right-hand side
+
+	res         []euler.State // standalone-residual output (AoS, fed to transfers)
+	normPartial []normSlot
 
 	// Prebuilt chunk tables: per-worker vertex and norm-block ranges, and
 	// per-color per-worker edge/face ranges as absolute offsets into the
-	// coloring's Order permutation.
+	// coloring's Order permutation. On levels below SerialCutoffEdges the
+	// tables are built single-worker, so every region runs inline.
 	vertSpans  []span
 	vertActive int
 	normSpans  []span
@@ -150,16 +203,28 @@ func newLevelEngine(m *mesh.Mesh, p euler.Params, nworkers int, ec, fc *color.Co
 		d:           euler.NewDisc(m, p),
 		edgeColors:  ec,
 		faceColors:  fc,
-		w0:          make([]euler.State, nv),
-		conv:        make([]euler.State, nv),
-		diss:        make([]euler.State, nv),
+		wS:          euler.NewStateSoA(nv),
+		w0S:         euler.NewStateSoA(nv),
+		convS:       euler.NewStateSoA(nv),
+		dissS:       euler.NewStateSoA(nv),
+		resS:        euler.NewStateSoA(nv),
+		laplS:       euler.NewStateSoA(nv),
+		smoothS:     euler.NewStateSoA(nv),
+		rhsS:        euler.NewStateSoA(nv),
 		res:         make([]euler.State, nv),
-		normPartial: make([]float64, nb),
+		normPartial: make([]normSlot, nb),
 	}
-	le.vertSpans, le.vertActive = buildSpans(nv, nworkers)
-	le.normSpans, le.normActive = buildSpans(nb, nworkers)
-	le.edgeSpans, le.edgeActive = colorSpans(ec, nworkers)
-	le.faceSpans, le.faceActive = colorSpans(fc, nworkers)
+	// Serial fallback: a level whose whole edge list is below the cutoff
+	// builds single-worker tables, so every fork runs inline on the caller
+	// and no barrier is paid. Chunking never affects results.
+	spanW := nworkers
+	if m.NE() < SerialCutoffEdges {
+		spanW = 1
+	}
+	le.vertSpans, le.vertActive = buildSpans(nv, spanW)
+	le.normSpans, le.normActive = buildSpans(nb, spanW)
+	le.edgeSpans, le.edgeActive = colorSpans(ec, spanW)
+	le.faceSpans, le.faceActive = colorSpans(fc, spanW)
 
 	ne, nbf := int64(m.NE()), int64(len(m.BFaces))
 	nv64 := int64(nv)
@@ -175,7 +240,8 @@ func newLevelEngine(m *mesh.Mesh, p euler.Params, nworkers int, ec, fc *color.Co
 
 // colorSpans prebuilds the per-color per-worker chunk table of a coloring:
 // absolute [lo,hi) offsets into c.Order, plus the per-color active worker
-// count.
+// count. Each color's edges split evenly (buildSpans balances the
+// remainder), so every active worker carries the same edge count ±1.
 func colorSpans(c *color.Coloring, nw int) ([][]span, []int) {
 	nc := c.NumColors()
 	spans := make([][]span, nc)
@@ -223,11 +289,15 @@ type engine struct {
 	alpha     float64       // RK stage coefficient
 	eps       float64       // residual-averaging coefficient
 	zeroDiss  bool          // tDtZero/tUpdateNext: also zero dissipation arrays
-	zeroCur   bool          // tSmoothCombine: also zero the next sweep's target
+	zeroCur   bool          // tSmoothCombine(+S): also zero the next sweep's target
 	w         []euler.State // solution being advanced
 	forcing   []euler.State
-	cur, next []euler.State // residual-averaging ping-pong
-	smTarget  []euler.State // array being smoothed (res, or a correction)
+	cur, next []euler.State // residual-averaging ping-pong ([]State, corrections)
+	smTarget  []euler.State // []State array being smoothed (a correction)
+
+	// SoA residual-averaging ping-pong (the step path smooths resS).
+	curS, nextS *euler.StateSoA
+	smTargetS   *euler.StateSoA
 
 	// Generic per-vertex operands (tRepairSave/tCorrDelta/tForcingSub/
 	// tApplyCorr) and the inter-grid transfer descriptor.
@@ -289,38 +359,42 @@ func (e *engine) exec(wk int) {
 	switch e.job {
 	case tInit:
 		sp := lev.vertSpans[wk]
-		d.StepInitKernel(e.w, lev.w0, sp.lo, sp.hi)
+		d.StepInitSoAKernel(e.w, lev.wS, lev.w0S, sp.lo, sp.hi)
 	case tLamEdges:
 		sp := lev.edgeSpans[e.group][wk]
-		d.LambdaEdgesKernel(e.w, d.Lam(), lev.edgeColors.Order[sp.lo:sp.hi])
+		d.LambdaEdgesSoAKernel(lev.wS, d.Lam(), lev.edgeColors.Order[sp.lo:sp.hi])
 	case tLamFaces:
 		sp := lev.faceSpans[e.group][wk]
-		d.LambdaBFacesKernel(e.w, d.Lam(), lev.faceColors.Order[sp.lo:sp.hi])
+		d.LambdaBFacesSoAKernel(lev.wS, d.Lam(), lev.faceColors.Order[sp.lo:sp.hi])
 	case tDtZero:
 		sp := lev.vertSpans[wk]
 		d.DtRangeKernel(d.Lam(), sp.lo, sp.hi)
-		d.StageZeroKernel(lev.conv, lev.diss, e.zeroDiss, sp.lo, sp.hi)
+		d.StageZeroSoAKernel(lev.convS, lev.dissS, lev.laplS, e.zeroDiss, sp.lo, sp.hi)
 	case tConvEdges:
 		sp := lev.edgeSpans[e.group][wk]
-		d.ConvectiveEdgesKernel(e.w, lev.conv, lev.edgeColors.Order[sp.lo:sp.hi])
+		d.ConvectiveEdgesSoAKernel(lev.wS, lev.convS, lev.edgeColors.Order[sp.lo:sp.hi])
 	case tConvFaces:
 		sp := lev.faceSpans[e.group][wk]
-		d.BoundaryFluxKernel(e.w, lev.conv, lev.faceColors.Order[sp.lo:sp.hi])
+		d.BoundaryFluxSoAKernel(lev.wS, lev.convS, lev.faceColors.Order[sp.lo:sp.hi])
 	case tDiss1:
 		sp := lev.edgeSpans[e.group][wk]
-		d.DissPass1Kernel(e.w, d.Lapl(), d.Sensor(), d.Den(), lev.edgeColors.Order[sp.lo:sp.hi])
+		d.DissPass1SoAKernel(lev.wS, lev.laplS, d.Sensor(), d.Den(), lev.edgeColors.Order[sp.lo:sp.hi])
 	case tNu:
 		sp := lev.vertSpans[wk]
 		d.NuRangeKernel(d.Sensor(), d.Den(), sp.lo, sp.hi)
 	case tDiss2:
 		sp := lev.edgeSpans[e.group][wk]
-		d.DissPass2Kernel(e.w, d.Lapl(), lev.diss, d.Sensor(), lev.edgeColors.Order[sp.lo:sp.hi])
+		d.DissPass2SoAKernel(lev.wS, lev.laplS, lev.dissS, d.Sensor(), lev.edgeColors.Order[sp.lo:sp.hi])
 	case tCombine:
 		sp := lev.vertSpans[wk]
-		d.CombineResidualKernel(lev.res, lev.conv, lev.diss, e.forcing, sp.lo, sp.hi)
+		d.CombineResidualSoAKernel(lev.resS, lev.convS, lev.dissS, e.forcing, sp.lo, sp.hi)
+	case tCombineOut:
+		sp := lev.vertSpans[wk]
+		d.CombineResidualOutKernel(lev.res, lev.convS, lev.dissS, e.forcing, sp.lo, sp.hi)
 	case tNorm:
 		sp := lev.normSpans[wk]
 		nv := d.M.NV()
+		res0 := lev.resS.Comp[0]
 		for b := sp.lo; b < sp.hi; b++ {
 			lo := b * normBlock
 			hi := lo + normBlock
@@ -329,10 +403,10 @@ func (e *engine) exec(wk int) {
 			}
 			sum := 0.0
 			for i := lo; i < hi; i++ {
-				r := lev.res[i][0] / d.M.Vol[i]
+				r := res0[i] / d.M.Vol[i]
 				sum += r * r
 			}
-			lev.normPartial[b] = sum
+			lev.normPartial[b].v = sum
 		}
 	case tSmoothStart:
 		sp := lev.vertSpans[wk]
@@ -353,18 +427,33 @@ func (e *engine) exec(wk int) {
 	case tCopyRes:
 		sp := lev.vertSpans[wk]
 		copy(e.smTarget[sp.lo:sp.hi], e.cur[sp.lo:sp.hi])
+	case tSmoothStartS:
+		sp := lev.vertSpans[wk]
+		lev.rhsS.CopyRange(e.smTargetS, sp.lo, sp.hi)
+		e.nextS.ZeroRange(sp.lo, sp.hi)
+	case tSmoothAccumS:
+		sp := lev.edgeSpans[e.group][wk]
+		d.SmoothAccumSoAKernel(e.curS, e.nextS, lev.edgeColors.Order[sp.lo:sp.hi])
+	case tSmoothCombineS:
+		sp := lev.vertSpans[wk]
+		d.SmoothCombineSoAKernel(lev.rhsS, e.nextS, e.eps, sp.lo, sp.hi)
+		if e.zeroCur {
+			e.curS.ZeroRange(sp.lo, sp.hi)
+		}
+	case tCopyResS:
+		sp := lev.vertSpans[wk]
+		e.smTargetS.CopyRange(e.curS, sp.lo, sp.hi)
 	case tUpdate:
 		sp := lev.vertSpans[wk]
-		d.UpdateRangeKernel(e.w, lev.w0, lev.res, e.alpha, sp.lo, sp.hi)
+		d.UpdateFinalSoAKernel(e.w, lev.w0S, lev.resS, e.alpha, sp.lo, sp.hi)
 	case tUpdateNext:
 		sp := lev.vertSpans[wk]
-		d.UpdateRangeKernel(e.w, lev.w0, lev.res, e.alpha, sp.lo, sp.hi)
-		d.PressureRangeKernel(e.w, sp.lo, sp.hi)
-		d.StageZeroKernel(lev.conv, lev.diss, e.zeroDiss, sp.lo, sp.hi)
+		d.UpdateNextSoAKernel(lev.wS, lev.w0S, lev.resS, e.alpha, sp.lo, sp.hi)
+		d.StageZeroSoAKernel(lev.convS, lev.dissS, lev.laplS, e.zeroDiss, sp.lo, sp.hi)
 	case tResInit:
 		sp := lev.vertSpans[wk]
-		d.PressureRangeKernel(e.w, sp.lo, sp.hi)
-		d.StageZeroKernel(lev.conv, lev.diss, true, sp.lo, sp.hi)
+		d.ResInitSoAKernel(e.w, lev.wS, sp.lo, sp.hi)
+		d.StageZeroSoAKernel(lev.convS, lev.dissS, lev.laplS, true, sp.lo, sp.hi)
 	case tInterp:
 		sp := e.xspans[wk]
 		e.xop.InterpRange(e.xsrc, e.xdst, sp.lo, sp.hi)
@@ -425,8 +514,9 @@ func (e *engine) tick(phase int, fl int64, t *time.Time) {
 }
 
 // step advances w by one multistage time step on lev, identically to
-// euler.Disc.Step but with all loops colored and dispatched to the worker
-// pool. It returns the first-stage residual norm and performs no heap
+// euler.Disc.Step but with all loops colored, dispatched to the worker
+// pool, and running on the SoA layout between the fused init and update
+// sweeps. It returns the first-stage residual norm and performs no heap
 // allocations.
 func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 	d := lev.d
@@ -438,8 +528,9 @@ func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 	t := time.Now()
 	stepStart := t
 
-	// Pressures, spectral radii, local time steps; the trailing fused sweep
-	// also zeroes the stage-0 accumulators.
+	// Pressures, spectral radii, local time steps; the leading fused sweep
+	// also loads the SoA solution block, and the trailing one zeroes the
+	// stage-0 accumulators.
 	e.fork(tInit, 0, lev.vertActive)
 	e.coloredEdges(tLamEdges)
 	e.coloredFaces(tLamFaces)
@@ -471,7 +562,7 @@ func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 		}
 		e.tick(phResidual, lev.flCombine, &t)
 
-		e.smooth(lev, lev.res)
+		e.smoothSoA(lev, lev.resS)
 		e.tick(phSmoothing, lev.flSmooth, &t)
 
 		e.alpha = alpha
@@ -498,8 +589,10 @@ func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 
 // residual evaluates the steady residual R(w) plus the optional FAS
 // forcing into lev.res, matching euler.Disc.Residual (followed by the
-// forcing add) arithmetic-for-arithmetic. Used by the multigrid forcing
-// construction; performs no heap allocations.
+// forcing add) arithmetic-for-arithmetic. The edge kernels run SoA; the
+// combine sweep scatters straight into the []State output the transfer
+// operators consume. Used by the multigrid forcing construction; performs
+// no heap allocations.
 func (e *engine) residual(lev *levelEngine, w, forcing []euler.State) {
 	if lev.d.M.NV() == 0 {
 		return
@@ -512,7 +605,7 @@ func (e *engine) residual(lev *levelEngine, w, forcing []euler.State) {
 	e.coloredEdges(tDiss1)
 	e.fork(tNu, 0, lev.vertActive)
 	e.coloredEdges(tDiss2)
-	e.fork(tCombine, 0, lev.vertActive)
+	e.fork(tCombineOut, 0, lev.vertActive)
 	e.w, e.forcing = nil, nil
 }
 
@@ -523,16 +616,17 @@ func (e *engine) residual(lev *levelEngine, w, forcing []euler.State) {
 func (e *engine) residualNorm(lev *levelEngine) float64 {
 	e.fork(tNorm, 0, lev.normActive)
 	sum := 0.0
-	for _, p := range lev.normPartial {
-		sum += p
+	for b := range lev.normPartial {
+		sum += lev.normPartial[b].v
 	}
 	return math.Sqrt(sum / float64(lev.d.M.NV()))
 }
 
 // smooth applies the implicit residual averaging with colored parallel
-// sweeps on target (the stage residual, or a prolonged correction). The
-// right-hand-side copy, the first sweep's zeroing and each following
-// sweep's zeroing ride along on neighbouring vertex sweeps.
+// sweeps on a []State target (a prolonged multigrid correction; the step
+// path smooths the SoA residual via smoothSoA). The right-hand-side copy,
+// the first sweep's zeroing and each following sweep's zeroing ride along
+// on neighbouring vertex sweeps.
 func (e *engine) smooth(lev *levelEngine, target []euler.State) {
 	d := lev.d
 	eps := d.P.EpsSmooth
@@ -554,6 +648,31 @@ func (e *engine) smooth(lev *levelEngine, target []euler.State) {
 		e.fork(tCopyRes, 0, lev.vertActive)
 	}
 	e.smTarget = nil
+}
+
+// smoothSoA is smooth for the SoA step path: identical sweep structure on
+// the SoA layout, ping-ponging target against the level's SoA scratch.
+func (e *engine) smoothSoA(lev *levelEngine, target *euler.StateSoA) {
+	d := lev.d
+	eps := d.P.EpsSmooth
+	if eps == 0 || d.P.NSmooth == 0 || target.Len() == 0 {
+		return
+	}
+	e.lev = lev
+	e.eps = eps
+	e.smTargetS = target
+	e.curS, e.nextS = target, lev.smoothS
+	e.fork(tSmoothStartS, 0, lev.vertActive)
+	for sweep := 0; sweep < d.P.NSmooth; sweep++ {
+		e.coloredEdges(tSmoothAccumS)
+		e.zeroCur = sweep+1 < d.P.NSmooth
+		e.fork(tSmoothCombineS, 0, lev.vertActive)
+		e.curS, e.nextS = e.nextS, e.curS
+	}
+	if e.curS != target {
+		e.fork(tCopyResS, 0, lev.vertActive)
+	}
+	e.smTargetS = nil
 }
 
 // interp runs an inter-grid interpolation chunked over the target range

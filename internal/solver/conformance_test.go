@@ -2,7 +2,6 @@ package solver
 
 import (
 	"fmt"
-	"runtime"
 	"testing"
 
 	"eul3d/internal/dmsolver"
@@ -42,6 +41,13 @@ func TestCrossEngineConformance(t *testing.T) {
 		{"W-cycle-3-levels", 2, 3},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
+			// The conformance meshes sit below the engine's default
+			// serial-fallback threshold; pin it to zero so the pooled
+			// engine really runs its pooled path here (the inline path has
+			// its own bitwise test, smsolver's TestSerialCutoffBitwise).
+			defer func(old int) { smsolver.SerialCutoffEdges = old }(smsolver.SerialCutoffEdges)
+			smsolver.SerialCutoffEdges = 0
+
 			raw, err := meshgen.Sequence(meshgen.DefaultChannel(10, 7, 5, 17), tc.levels)
 			if err != nil {
 				t.Fatal(err)
@@ -88,7 +94,7 @@ func TestCrossEngineConformance(t *testing.T) {
 			}
 
 			// Pooled shared-memory multigrid, several worker counts.
-			for _, nw := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			for _, nw := range []int{1, 2, 3, 8} {
 				mg, err := smsolver.NewMultigridColored(canon, p, tc.gamma, nw, cols)
 				if err != nil {
 					t.Fatal(err)
@@ -191,4 +197,62 @@ func abs64(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// TestSingleGridSoAConformance pins the pooled engine's SoA hot path
+// directly against the serial []State reference: on a color-canonical
+// mesh the sequential euler.Disc.Step (raw edge order, AoS layout) and
+// the pooled smsolver.Solver (color order, SoA component streams) must
+// produce bitwise-identical residual histories and solutions at every
+// worker count — the state layout and the chunking are memory-placement
+// choices, not numerical ones. The same solver instances must also keep
+// the engine's zero-allocation contract on the SoA step path, which
+// testing.AllocsPerRun enforces.
+func TestSingleGridSoAConformance(t *testing.T) {
+	defer func(old int) { smsolver.SerialCutoffEdges = old }(smsolver.SerialCutoffEdges)
+	smsolver.SerialCutoffEdges = 0
+
+	m, err := meshgen.Channel(meshgen.DefaultChannel(10, 7, 5, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, ec, fc, err := reorder.ColorCanonical(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := euler.DefaultParams(0.675, 0)
+	const steps = 5
+
+	// Serial reference: the sequential stepper on the canonical mesh.
+	d := euler.NewDisc(cm, p)
+	ws := euler.NewStepWorkspace(cm.NV())
+	refW := make([]euler.State, cm.NV())
+	d.InitUniform(refW)
+	refHist := make([]float64, steps)
+	for c := range refHist {
+		refHist[c] = d.Step(refW, nil, ws)
+	}
+
+	for _, nw := range []int{1, 2, 3, 8} {
+		s, err := smsolver.NewColored(cm, p, nw, ec, fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := make([]euler.State, cm.NV())
+		s.InitUniform(w)
+		for c := 0; c < steps; c++ {
+			if norm := s.Step(w, nil); norm != refHist[c] {
+				t.Fatalf("workers=%d: step %d norm %v, serial %v", nw, c, norm, refHist[c])
+			}
+		}
+		for i := range w {
+			if w[i] != refW[i] {
+				t.Fatalf("workers=%d: vertex %d state %v, serial %v", nw, i, w[i], refW[i])
+			}
+		}
+		if allocs := testing.AllocsPerRun(5, func() { s.Step(w, nil) }); allocs != 0 {
+			t.Fatalf("workers=%d: SoA step path allocates %v times per run", nw, allocs)
+		}
+		s.Close()
+	}
 }
