@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify serve-smoke cluster-smoke trace-smoke bench bench-check clean
+.PHONY: all build test race verify serve-smoke cluster-smoke trace-smoke scenario-smoke bench bench-check clean
 
 all: build
 
@@ -16,10 +16,11 @@ test:
 # recovery orchestrator, the shared-memory worker-pool engine (single-grid
 # and pooled multigrid, V- and W-cycles), the transfer operators the
 # pooled multigrid scatters in parallel, the flight-recorder tracer
-# whose rings are written from every worker concurrently, and the cluster
-# coordinator with its health monitors and handoff machinery.
+# whose rings are written from every worker concurrently, the cluster
+# coordinator with its health monitors and handoff machinery, and the
+# scenario harness that drives every engine over the presets.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/...
 
 # End-to-end serving smoke: build eul3dd, start it on a random port, run a
 # channel-mesh job to completion, check /metrics, then SIGTERM it mid-job
@@ -41,17 +42,26 @@ cluster-smoke:
 trace-smoke:
 	$(GO) test -run TestTraceSmoke -count 1 -v ./cmd/eul3d
 
-# Full gate: vet, all tests, race pass, a short fuzz smoke on the
-# fault-spec parser (errors, never panics), and the serving, cluster and
-# tracing smoke tests.
+# End-to-end scenario smoke: build eul3dd, post the Sod shock tube over
+# HTTP on the sequential engine and the pooled engine at workers 1/2/8,
+# and check the L1 error against the exact Riemann solution stays under
+# the committed tolerance with bitwise-identical pooled diagnostics.
+scenario-smoke:
+	$(GO) test -run TestScenarioSmoke -count 1 -v ./cmd/eul3dd
+
+# Full gate: vet, all tests, race pass, short fuzz smokes on the
+# fault-spec parser and the exact Riemann solver (errors, never panics),
+# and the serving, cluster, tracing and scenario smoke tests.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/...
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 2s ./internal/simnet
+	$(GO) test -run '^$$' -fuzz FuzzRiemann -fuzztime 2s ./internal/scenario
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/eul3dd
 	$(GO) test -run TestClusterSmoke -count 1 ./cmd/eul3dc
 	$(GO) test -run TestTraceSmoke -count 1 ./cmd/eul3d
+	$(GO) test -run TestScenarioSmoke -count 1 ./cmd/eul3dd
 	$(MAKE) bench-check
 
 # Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,

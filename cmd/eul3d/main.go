@@ -27,6 +27,7 @@ import (
 	"eul3d/internal/meshgen"
 	"eul3d/internal/meshio"
 	"eul3d/internal/partition"
+	"eul3d/internal/scenario"
 	"eul3d/internal/simnet"
 	"eul3d/internal/solver"
 	"eul3d/internal/tables"
@@ -40,6 +41,7 @@ func main() {
 		nz       = flag.Int("nz", 12, "fine-mesh cells in z")
 		levels   = flag.Int("levels", 4, "multigrid levels (ignored for -strategy single)")
 		strategy = flag.String("strategy", "w", "solution strategy: single, v or w")
+		scenName = flag.String("scenario", "", "run a named verification preset from internal/scenario (\"list\" prints them); replaces the mesh and flow flags")
 		mach     = flag.Float64("mach", 0.768, "freestream Mach number")
 		alpha    = flag.Float64("alpha", 1.116, "angle of attack in degrees")
 		cycles   = flag.Int("cycles", 300, "maximum solver cycles")
@@ -69,7 +71,57 @@ func main() {
 	p := euler.DefaultParams(*mach, *alpha)
 	spec := meshgen.DefaultChannel(*nx, *ny, *nz, *seed)
 
+	var sc *scenario.Scenario
+	if *scenName != "" {
+		if *scenName == "list" {
+			for _, n := range scenario.Names() {
+				s, _ := scenario.Get(n)
+				fmt.Printf("%-8s %s\n", n, s.Description)
+			}
+			return
+		}
+		var err error
+		if sc, err = scenario.Get(*scenName); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+		for flagName, on := range map[string]bool{
+			"-nproc":         *nproc > 0,
+			"-mesh-prefix":   *meshPfx != "",
+			"-resume":        *resume != "",
+			"-init-solution": *initSol != "",
+			"-fmg":           *fmg > 0,
+		} {
+			if on {
+				log.Fatalf("eul3d: -scenario fixes the mesh and initial state and is incompatible with %s", flagName)
+			}
+		}
+		p = sc.Params()
+		// The preset's step count and tolerance are defaults, not law:
+		// explicit -cycles/-tol still win.
+		explicit := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		if !explicit["cycles"] {
+			*cycles = sc.Steps
+		}
+		if !explicit["tol"] {
+			*tol = sc.Tol
+		}
+		if sc.Unsteady && *strategy != "single" {
+			if explicit["strategy"] {
+				fmt.Printf("scenario %s is time-accurate; forcing -strategy single\n", sc.Name)
+			}
+			*strategy = "single"
+		}
+		if *levels > sc.MaxLevels {
+			*levels = sc.MaxLevels
+		}
+		fmt.Printf("scenario %s: %s\n", sc.Name, sc.Description)
+	}
+
 	loadSeq := func(levels int) ([]*mesh.Mesh, error) {
+		if sc != nil {
+			return sc.Meshes(levels)
+		}
 		if *meshPfx == "" {
 			return meshgen.Sequence(spec, levels)
 		}
@@ -196,6 +248,11 @@ func main() {
 			log.Fatalf("eul3d: %v", err)
 		}
 	}
+	if sc != nil {
+		if err := st.SetInitial(sc.InitialState(fineMesh)); err != nil {
+			log.Fatalf("eul3d: %v", err)
+		}
+	}
 	if tracer != nil {
 		if st.SetTrace(tracer) {
 			fmt.Printf("flight recorder armed; trace goes to %s\n", *tracePth)
@@ -220,7 +277,7 @@ func main() {
 		log.Fatalf("eul3d: %v", err)
 	}
 	writeTrace(tracer, *tracePth)
-	checkDivergence(res.History)
+	checkDivergence(*scenName, res.History, res.FineSolution)
 	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
 		res.Cycles, res.InitialNorm, res.FinalNorm, res.Ordersof10)
 	if res.Converged {
@@ -236,6 +293,22 @@ func main() {
 		}
 	}
 	fmt.Printf("max local Mach number: %.3f\n", maxM)
+
+	if sc != nil {
+		d := sc.Diagnose(fineMesh, res.FineSolution, res.FinalNorm)
+		fmt.Printf("\nscenario %s diagnostics:\n", sc.Name)
+		if d.L1Density >= 0 {
+			fmt.Printf("  L1 density error vs exact solution: %.6g (tolerance %.3g)\n", d.L1Density, sc.L1Tol)
+		}
+		fmt.Printf("  min density %.6g, min pressure %.6g\n", d.Min[0], d.MinPressure)
+		if d.ProbeLabel != "" {
+			fmt.Printf("  %s: %.6g (analytic %.6g)\n", d.ProbeLabel, d.ProbeGot, d.ProbeWant)
+		}
+		if err := sc.Check(d); err != nil {
+			log.Fatalf("eul3d: scenario check failed: %v", err)
+		}
+		fmt.Println("scenario check passed")
+	}
 
 	if *stats {
 		fmt.Printf("\nper-phase breakdown (analytic flop counts):\n%s", st.Stats())
@@ -369,7 +442,7 @@ func runDistributed(p euler.Params, loadSeq func(int) ([]*mesh.Mesh, error), ck 
 		log.Fatalf("eul3d: %v", err)
 	}
 	writeTrace(o.tracer, o.tracePath)
-	checkDivergence(res.History)
+	checkDivergence("", res.History, res.FineSolution)
 
 	fmt.Printf("\nfinished after %d cycles: residual %.3e -> %.3e (%.1f orders)",
 		res.Cycles, res.InitialNorm, res.FinalNorm, res.Ordersof10)
@@ -427,16 +500,44 @@ func incidentPath(tracePath string) string {
 	return tracePath + ".incident"
 }
 
+// divergeFields names the conserved variables for divergence reports.
+var divergeFields = [euler.NVar]string{"rho", "rho-u", "rho-v", "rho-w", "rho-E"}
+
+// firstNonFinite locates the first NaN/Inf value in the solution, in
+// vertex-major order; (-1, -1) when every value is finite.
+func firstNonFinite(w []euler.State) (vertex, field int) {
+	for i, s := range w {
+		for k := 0; k < euler.NVar; k++ {
+			if math.IsNaN(s[k]) || math.IsInf(s[k], 0) {
+				return i, k
+			}
+		}
+	}
+	return -1, -1
+}
+
 // checkDivergence aborts with a nonzero exit when the residual history
 // contains a NaN or Inf: the run has blown up and the flow-field summary
-// that would follow is meaningless. The usual culprits are a freestream
-// condition outside the scheme's stable range or a badly distorted mesh.
-func checkDivergence(hist []float64) {
+// that would follow is meaningless. The report names the first offending
+// field and vertex in the final solution (and the scenario, when one is
+// running) so the blow-up can be localized; the usual culprits are a
+// freestream condition outside the scheme's stable range, a time step
+// past the stability limit or a badly distorted mesh.
+func checkDivergence(scenarioName string, hist []float64, w []euler.State) {
 	for c, n := range hist {
-		if math.IsNaN(n) || math.IsInf(n, 0) {
-			fmt.Fprintf(os.Stderr, "eul3d: solution diverged: residual norm %g at cycle %d; try a lower -mach or -alpha, or a less distorted mesh (-seed)\n", n, c+1)
-			os.Exit(1)
+		if !math.IsNaN(n) && !math.IsInf(n, 0) {
+			continue
 		}
+		what := "solution"
+		if scenarioName != "" {
+			what = fmt.Sprintf("scenario %q", scenarioName)
+		}
+		msg := fmt.Sprintf("eul3d: %s diverged: residual norm %g at cycle %d", what, n, c+1)
+		if i, k := firstNonFinite(w); i >= 0 {
+			msg += fmt.Sprintf("; first non-finite value is %s at vertex %d", divergeFields[k], i)
+		}
+		fmt.Fprintf(os.Stderr, "%s; try a lower -mach or -alpha, a smaller time step, or a less distorted mesh (-seed)\n", msg)
+		os.Exit(1)
 	}
 }
 

@@ -7,22 +7,34 @@ import (
 	"os/exec"
 	"strings"
 	"testing"
+
+	"eul3d/internal/euler"
 )
 
 // checkDivergence calls os.Exit, so the failing paths run in a re-exec'd
-// copy of the test binary.
+// copy of the test binary. Each mode checks that the report localizes the
+// blow-up: the first non-finite field and vertex, plus the scenario name
+// when one is set.
 func TestCheckDivergenceExit(t *testing.T) {
 	if h := os.Getenv("EUL3D_TEST_DIVERGE"); h != "" {
 		switch h {
 		case "nan":
-			checkDivergence([]float64{1, 0.5, math.NaN()})
+			checkDivergence("", []float64{1, 0.5, math.NaN()}, []euler.State{
+				{1, 0, 0, 0, 2.5},
+				{1, math.NaN(), 0, 0, 2.5},
+			})
 		case "inf":
-			checkDivergence([]float64{1, math.Inf(1)})
+			checkDivergence("sod", []float64{1, math.Inf(1)}, []euler.State{
+				{1, 0, 0, 0, math.Inf(1)},
+			})
 		}
 		os.Exit(0) // checkDivergence should have exited already
 	}
 
-	for _, mode := range []string{"nan", "inf"} {
+	for mode, want := range map[string][]string{
+		"nan": {"solution diverged", "first non-finite value is rho-u at vertex 1"},
+		"inf": {`scenario "sod" diverged`, "first non-finite value is rho-E at vertex 0"},
+	} {
 		cmd := exec.Command(os.Args[0], "-test.run=TestCheckDivergenceExit")
 		cmd.Env = append(os.Environ(), "EUL3D_TEST_DIVERGE="+mode)
 		out, err := cmd.CombinedOutput()
@@ -36,14 +48,32 @@ func TestCheckDivergenceExit(t *testing.T) {
 		if code := ee.ExitCode(); code == 0 {
 			t.Errorf("%s history: exit code %d, want nonzero", mode, code)
 		}
-		if !strings.Contains(string(out), "solution diverged") {
-			t.Errorf("%s history: no clear divergence message in output:\n%s", mode, out)
+		for _, w := range want {
+			if !strings.Contains(string(out), w) {
+				t.Errorf("%s history: output missing %q:\n%s", mode, w, out)
+			}
 		}
 	}
 }
 
-// A clean (finite) history must not exit.
+// A clean (finite) history must not exit, whatever the solution holds.
 func TestCheckDivergenceClean(t *testing.T) {
-	checkDivergence([]float64{1, 0.5, 0.25, 1e-9})
-	checkDivergence(nil)
+	checkDivergence("", []float64{1, 0.5, 0.25, 1e-9}, []euler.State{{1, 0, 0, 0, 2.5}})
+	checkDivergence("sod", nil, nil)
+}
+
+// firstNonFinite scans vertex-major: the lowest offending vertex wins,
+// and within a vertex the lowest field.
+func TestFirstNonFinite(t *testing.T) {
+	if v, f := firstNonFinite(nil); v != -1 || f != -1 {
+		t.Fatalf("empty solution: got (%d,%d), want (-1,-1)", v, f)
+	}
+	w := []euler.State{
+		{1, 0, 0, 0, 2.5},
+		{1, 0, math.Inf(-1), 0, math.NaN()},
+		{math.NaN(), 0, 0, 0, 2.5},
+	}
+	if v, f := firstNonFinite(w); v != 1 || f != 2 {
+		t.Fatalf("got vertex %d field %d, want 1/2 (rho-v)", v, f)
+	}
 }

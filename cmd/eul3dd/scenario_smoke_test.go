@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"eul3d/internal/scenario"
+)
+
+// scenarioView is jobView plus the diagnostics block that scenario jobs
+// carry in their JSON view.
+type scenarioView struct {
+	jobView
+	Diagnostics *scenario.Diagnostics `json:"diagnostics"`
+}
+
+// TestScenarioSmoke is the end-to-end scenario check behind `make
+// scenario-smoke`: the Sod preset posted over HTTP must come back with an
+// L1 density error under the committed tolerance on the sequential engine
+// and on the pooled engine at every worker count — with the pooled
+// diagnostics bitwise identical across worker counts.
+func TestScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test skipped in -short mode")
+	}
+	sod, err := scenario.Get("sod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "eul3dd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building eul3dd: %v\n%s", err, out)
+	}
+	srv := startServer(t, bin, t.TempDir())
+
+	run := func(body string) scenario.Diagnostics {
+		t.Helper()
+		id := submit(t, srv.base, body)
+		pollUntil(t, srv.base, id, 60*time.Second, "completed")
+		resp, err := http.Get(srv.base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var v scenarioView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Diagnostics == nil {
+			t.Fatalf("job %s completed without diagnostics", id)
+		}
+		return *v.Diagnostics
+	}
+
+	seq := run(`{"scenario":"sod"}`)
+	if err := sod.Check(seq); err != nil {
+		t.Errorf("sequential engine: %v", err)
+	}
+	t.Logf("sequential: L1 %.6g (tolerance %g)", seq.L1Density, sod.L1Tol)
+
+	var ref *scenario.Diagnostics
+	for _, workers := range []int{1, 2, 8} {
+		d := run(fmt.Sprintf(`{"scenario":"sod","engine":"sm","workers":%d}`, workers))
+		if err := sod.Check(d); err != nil {
+			t.Errorf("pooled engine, %d workers: %v", workers, err)
+		}
+		if ref == nil {
+			ref = &d
+		} else if *ref != d {
+			t.Errorf("pooled diagnostics differ across worker counts:\n  w1: %+v\n  w%d: %+v", *ref, workers, d)
+		}
+	}
+}

@@ -165,8 +165,16 @@ func (d *Disc) NuRangeKernel(num, den []float64, lo, hi int) {
 	}
 }
 
-// DtRangeKernel fills the local time steps for vertices [lo,hi).
+// DtRangeKernel fills the local time steps for vertices [lo,hi). In
+// time-accurate mode (Params.GlobalDt > 0) every vertex gets the fixed
+// global step, mirroring ComputeTimeSteps.
 func (d *Disc) DtRangeKernel(lam []float64, lo, hi int) {
+	if dt := d.P.GlobalDt; dt > 0 {
+		for i := lo; i < hi; i++ {
+			d.Dt[i] = dt
+		}
+		return
+	}
 	cfl := d.P.CFL
 	for i := lo; i < hi; i++ {
 		d.Dt[i] = cfl * d.M.Vol[i] / lam[i]
@@ -227,10 +235,8 @@ func (d *Disc) UpdateRangeKernel(w, w0, res []State, alpha float64, lo, hi int) 
 		for k := 0; k < NVar; k++ {
 			cand[k] = w0[i][k] - f*res[i][k]
 		}
-		if !d.P.Guard(cand) {
-			cand = w0[i] // positivity guard, identical to the sequential step
-		}
-		w[i] = cand
+		// Positivity safeguard, identical to the sequential step.
+		w[i] = d.P.admitUpdate(w0[i], cand)
 	}
 }
 

@@ -353,11 +353,8 @@ func (d *Disc) UpdateFinalSoAKernel(w []State, w0S, resS *StateSoA, alpha float6
 	for i := lo; i < hi; i++ {
 		f := alpha * d.Dt[i] / vol[i]
 		cand := State{z0[i] - f*r0[i], z1[i] - f*r1[i], z2[i] - f*r2[i], z3[i] - f*r3[i], z4[i] - f*r4[i]}
-		if !d.P.Guard(cand) {
-			// positivity guard, identical to the sequential step
-			cand = State{z0[i], z1[i], z2[i], z3[i], z4[i]}
-		}
-		w[i] = cand
+		// Positivity safeguard, identical to the sequential step.
+		w[i] = d.P.admitUpdate(State{z0[i], z1[i], z2[i], z3[i], z4[i]}, cand)
 	}
 }
 
@@ -373,9 +370,7 @@ func (d *Disc) UpdateNextSoAKernel(wS, w0S, resS *StateSoA, alpha float64, lo, h
 	for i := lo; i < hi; i++ {
 		f := alpha * d.Dt[i] / vol[i]
 		cand := State{z0[i] - f*r0[i], z1[i] - f*r1[i], z2[i] - f*r2[i], z3[i] - f*r3[i], z4[i] - f*r4[i]}
-		if !d.P.Guard(cand) {
-			cand = State{z0[i], z1[i], z2[i], z3[i], z4[i]}
-		}
+		cand = d.P.admitUpdate(State{z0[i], z1[i], z2[i], z3[i], z4[i]}, cand)
 		s0[i], s1[i], s2[i], s3[i], s4[i] = cand[0], cand[1], cand[2], cand[3], cand[4]
 		d.pres[i] = g.Pressure(cand)
 	}

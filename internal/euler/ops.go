@@ -25,6 +25,22 @@ type Params struct {
 	// Zero values disable the guard.
 	MinDensity  float64
 	MinPressure float64
+
+	// ConvexLimit replaces the all-or-nothing revert with the clip-free
+	// convex limiter (see LimitUpdate in limiter.go): an inadmissible stage
+	// update is scaled back along the segment to the stage-0 state until
+	// density and pressure clear the floors, instead of being discarded.
+	// Requires positive MinDensity/MinPressure to have any effect.
+	ConvexLimit bool
+
+	// GlobalDt, when positive, replaces the local time step CFL*V/lambda
+	// with this fixed global step at every vertex, turning the multistage
+	// scheme into a time-accurate low-storage Runge-Kutta integrator (set
+	// EpsSmooth/NSmooth to zero as well — implicit residual averaging is a
+	// steady-state convergence device and destroys time accuracy). The
+	// caller owns stability: GlobalDt must respect the most restrictive
+	// vertex's CFL limit.
+	GlobalDt float64
 }
 
 // DefaultParams returns the parameter set used by the experiments: the
@@ -238,6 +254,14 @@ func (d *Disc) Dissipation(w []State, diss []State) {
 // ComputeTimeSteps fills d.Dt with the local time step CFL*V_i/sum(lambda)
 // (edge loop plus boundary-face contribution). Pressures must be current.
 func (d *Disc) ComputeTimeSteps(w []State) {
+	if dt := d.P.GlobalDt; dt > 0 {
+		// Time-accurate mode: one fixed step everywhere; the spectral-radius
+		// accumulation is skipped (lam feeds nothing else).
+		for i := range d.Dt {
+			d.Dt[i] = dt
+		}
+		return
+	}
 	m := d.M
 	g := d.P.Gas
 	for i := range d.lam {

@@ -86,10 +86,8 @@ func (d *Disc) Step(w []State, forcing []State, ws *StepWorkspace) float64 {
 			for k := 0; k < NVar; k++ {
 				cand[k] = ws.w0[i][k] - f*ws.res[i][k]
 			}
-			if !d.P.Guard(cand) {
-				cand = ws.w0[i] // positivity guard: hold this vertex for the stage
-			}
-			w[i] = cand
+			// Positivity safeguard: revert or convex-limit the stage update.
+			w[i] = d.P.admitUpdate(ws.w0[i], cand)
 		}
 	}
 	return resNorm

@@ -27,6 +27,19 @@ type ChannelSpec struct {
 	BumpStart  float64 // bump x-extent start
 	BumpEnd    float64 // bump x-extent end
 
+	// RampAngleDeg replaces the sinusoidal bump with a compression ramp:
+	// the bottom wall rises at this angle from BumpStart to BumpEnd and
+	// stays at the reached height downstream (set BumpEnd = LX for a pure
+	// wedge). BumpHeight is ignored when nonzero.
+	RampAngleDeg float64
+
+	// WallEnds turns the x = 0 and x = LX faces into inviscid walls instead
+	// of far-field. Shock-tube scenarios need this: their initial data does
+	// not match any single freestream state, so far-field ends would inject
+	// spurious waves, while closed ends are exact as long as no wave reaches
+	// them.
+	WallEnds bool
+
 	Jitter float64 // interior node jitter as a fraction of local spacing
 	Seed   int64   // jitter RNG seed (levels should differ)
 }
@@ -60,6 +73,17 @@ var kuhnTets = [6][4]int{
 
 // bump returns the bottom-wall elevation at streamwise position x.
 func (s ChannelSpec) bump(x float64) float64 {
+	if s.RampAngleDeg != 0 {
+		slope := math.Tan(s.RampAngleDeg * math.Pi / 180)
+		switch {
+		case x <= s.BumpStart:
+			return 0
+		case x >= s.BumpEnd:
+			return slope * (s.BumpEnd - s.BumpStart)
+		default:
+			return slope * (x - s.BumpStart)
+		}
+	}
 	if s.BumpHeight == 0 || x <= s.BumpStart || x >= s.BumpEnd {
 		return 0
 	}
@@ -201,11 +225,15 @@ func addBoundaryFaces(m *mesh.Mesh, spec ChannelSpec, vid func(i, j, k int) int3
 		axis, val int
 		kind      mesh.BCKind
 	}
+	endKind := mesh.FarField
+	if spec.WallEnds {
+		endKind = mesh.Wall
+	}
 	planes := []plane{
-		{0, 0, mesh.FarField},  // inflow
-		{0, nx, mesh.FarField}, // outflow
-		{1, 0, mesh.Wall},      // bottom wall (bump)
-		{1, ny, mesh.Wall},     // top wall
+		{0, 0, endKind},    // inflow (or closed shock-tube end)
+		{0, nx, endKind},   // outflow (or closed shock-tube end)
+		{1, 0, mesh.Wall},  // bottom wall (bump)
+		{1, ny, mesh.Wall}, // top wall
 		{2, 0, mesh.Symmetry},
 		{2, nz, mesh.Symmetry},
 	}

@@ -1,0 +1,81 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// Oblique-shock relations for the supersonic wedge scenario: given the
+// upstream Mach number and the flow-deflection (wedge) angle, solve the
+// theta-beta-M relation for the weak-shock wave angle and return the jump
+// ratios. These are the textbook closed-form relations (Anderson, "Modern
+// Compressible Flow", ch. 4); the scenario uses them as the analytic
+// reference for the post-shock pressure plateau on the ramp.
+
+// ObliqueShock holds the solved weak-branch oblique shock.
+type ObliqueShock struct {
+	BetaDeg      float64 // shock-wave angle from the upstream flow direction
+	P2OverP1     float64 // static pressure ratio across the shock
+	Rho2OverRho1 float64 // density ratio across the shock
+	M2           float64 // downstream Mach number
+}
+
+// thetaOfBeta returns the flow deflection produced by a shock of wave
+// angle beta at upstream Mach m1.
+func thetaOfBeta(gamma, m1, beta float64) float64 {
+	ms2 := m1 * m1 * math.Sin(beta) * math.Sin(beta)
+	return math.Atan(2 / math.Tan(beta) * (ms2 - 1) / (m1*m1*(gamma+math.Cos(2*beta)) + 2))
+}
+
+// SolveObliqueShock solves the theta-beta-M relation for the weak shock
+// attached to a wedge of half-angle thetaDeg in a stream of Mach m1 > 1.
+// It returns an error when the shock would detach (theta beyond theta_max).
+func SolveObliqueShock(gamma, m1, thetaDeg float64) (ObliqueShock, error) {
+	if !(m1 > 1) {
+		return ObliqueShock{}, fmt.Errorf("oblique: upstream Mach must be > 1, got %g", m1)
+	}
+	theta := thetaDeg * math.Pi / 180
+	if theta <= 0 {
+		return ObliqueShock{}, fmt.Errorf("oblique: wedge angle must be positive, got %g deg", thetaDeg)
+	}
+
+	// theta(beta) rises from 0 at the Mach angle to theta_max and falls back
+	// to 0 at beta = pi/2. Ternary-search the maximum, then bisect on the
+	// rising (weak) branch.
+	lo, hi := math.Asin(1/m1), math.Pi/2
+	a, b := lo, hi
+	for i := 0; i < 200; i++ {
+		m1p := a + (b-a)/3
+		m2p := b - (b-a)/3
+		if thetaOfBeta(gamma, m1, m1p) < thetaOfBeta(gamma, m1, m2p) {
+			a = m1p
+		} else {
+			b = m2p
+		}
+	}
+	betaMax := 0.5 * (a + b)
+	if theta > thetaOfBeta(gamma, m1, betaMax) {
+		return ObliqueShock{}, fmt.Errorf("oblique: %g deg exceeds max deflection at M=%g (detached shock)", thetaDeg, m1)
+	}
+	wa, wb := lo, betaMax
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (wa + wb)
+		if thetaOfBeta(gamma, m1, mid) < theta {
+			wa = mid
+		} else {
+			wb = mid
+		}
+	}
+	beta := 0.5 * (wa + wb)
+
+	ms2 := m1 * m1 * math.Sin(beta) * math.Sin(beta)
+	p21 := 1 + 2*gamma/(gamma+1)*(ms2-1)
+	r21 := (gamma + 1) * ms2 / ((gamma-1)*ms2 + 2)
+	mn2 := math.Sqrt((1 + (gamma-1)/2*ms2) / (gamma*ms2 - (gamma-1)/2))
+	return ObliqueShock{
+		BetaDeg:      beta * 180 / math.Pi,
+		P2OverP1:     p21,
+		Rho2OverRho1: r21,
+		M2:           mn2 / math.Sin(beta-theta),
+	}, nil
+}

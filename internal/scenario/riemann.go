@@ -1,0 +1,181 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// Exact solver for the 1-D Riemann problem of the compressible Euler
+// equations (Toro, "Riemann Solvers and Numerical Methods for Fluid
+// Dynamics", ch. 4). It provides the analytic reference solution for the
+// Sod shock-tube scenario: a Newton iteration on the pressure function
+// determines the star-region pressure and velocity, after which the full
+// self-similar solution w(x/t) is sampled in closed form.
+
+// RiemannState is a 1-D primitive gas state.
+type RiemannState struct {
+	Rho, U, P float64
+}
+
+// RiemannSolution is the solved similarity solution of a Riemann problem.
+// Sample evaluates it at any similarity coordinate xi = x/t.
+type RiemannSolution struct {
+	Gamma float64
+	L, R  RiemannState
+
+	PStar, UStar       float64 // star-region pressure and velocity
+	RhoStarL, RhoStarR float64 // densities on either side of the contact
+	AL, AR             float64 // outer sound speeds
+}
+
+// riemannIters bounds the Newton iteration; convergence is quadratic and
+// typically takes < 10 iterations from the PVRS guess.
+const riemannIters = 100
+
+// SolveRiemann solves the Riemann problem with left state l and right
+// state r for a perfect gas with ratio of specific heats gamma. It returns
+// an error for non-physical inputs or when the data generate vacuum
+// (pressure positivity condition violated).
+func SolveRiemann(gamma float64, l, r RiemannState) (*RiemannSolution, error) {
+	if !(gamma > 1) {
+		return nil, fmt.Errorf("riemann: gamma must be > 1, got %g", gamma)
+	}
+	for _, s := range []RiemannState{l, r} {
+		if !(s.Rho > 0) || !(s.P > 0) || math.IsInf(s.U, 0) || math.IsNaN(s.U) {
+			return nil, fmt.Errorf("riemann: non-physical state rho=%g u=%g p=%g", s.Rho, s.U, s.P)
+		}
+	}
+	aL := math.Sqrt(gamma * l.P / l.Rho)
+	aR := math.Sqrt(gamma * r.P / r.Rho)
+
+	// Pressure positivity condition: the two rarefactions must not pull the
+	// star region into vacuum.
+	if 2/(gamma-1)*(aL+aR) <= r.U-l.U {
+		return nil, fmt.Errorf("riemann: initial data generate vacuum (du = %g)", r.U-l.U)
+	}
+
+	// fK(p) is the velocity jump across the left/right wave as a function of
+	// the star pressure: the shock branch (p > pK) is the Rankine-Hugoniot
+	// relation, the rarefaction branch the isentropic one. fpK is dfK/dp.
+	f := func(p float64, k RiemannState, aK float64) (fK, fpK float64) {
+		if p > k.P { // shock
+			A := 2 / ((gamma + 1) * k.Rho)
+			B := (gamma - 1) / (gamma + 1) * k.P
+			q := math.Sqrt(A / (p + B))
+			fK = (p - k.P) * q
+			fpK = q * (1 - (p-k.P)/(2*(p+B)))
+		} else { // rarefaction
+			fK = 2 * aK / (gamma - 1) * (math.Pow(p/k.P, (gamma-1)/(2*gamma)) - 1)
+			fpK = math.Pow(p/k.P, -(gamma+1)/(2*gamma)) / (k.Rho * aK)
+		}
+		return
+	}
+
+	// Two-rarefaction initial guess, positive by construction and a good
+	// start everywhere (exact when both waves are rarefactions).
+	z := (gamma - 1) / (2 * gamma)
+	p := math.Pow((aL+aR-0.5*(gamma-1)*(r.U-l.U))/(aL/math.Pow(l.P, z)+aR/math.Pow(r.P, z)), 1/z)
+	if !(p > 0) {
+		p = 0.5 * (l.P + r.P)
+	}
+
+	du := r.U - l.U
+	for it := 0; it < riemannIters; it++ {
+		fL, fpL := f(p, l, aL)
+		fR, fpR := f(p, r, aR)
+		dp := (fL + fR + du) / (fpL + fpR)
+		pNew := p - dp
+		if pNew <= 0 {
+			pNew = 0.5 * p // keep the iterate positive; f' > 0 guarantees progress
+		}
+		if math.Abs(pNew-p) <= 1e-14*(pNew+p) {
+			p = pNew
+			break
+		}
+		p = pNew
+	}
+
+	fL, _ := f(p, l, aL)
+	fR, _ := f(p, r, aR)
+	sol := &RiemannSolution{
+		Gamma: gamma, L: l, R: r,
+		PStar: p,
+		UStar: 0.5*(l.U+r.U) + 0.5*(fR-fL),
+		AL:    aL, AR: aR,
+	}
+	sol.RhoStarL = starDensity(gamma, l, p)
+	sol.RhoStarR = starDensity(gamma, r, p)
+	return sol, nil
+}
+
+// starDensity returns the density adjacent to the contact on side k, for
+// star pressure p: the Rankine-Hugoniot density ratio across a shock, the
+// isentropic relation across a rarefaction.
+func starDensity(gamma float64, k RiemannState, p float64) float64 {
+	r := p / k.P
+	if p > k.P {
+		mu := (gamma - 1) / (gamma + 1)
+		return k.Rho * (r + mu) / (mu*r + 1)
+	}
+	return k.Rho * math.Pow(r, 1/gamma)
+}
+
+// LeftWaveSpeeds returns the speeds of the left wave: (head, tail) of a
+// rarefaction, or (s, s) for a shock.
+func (s *RiemannSolution) LeftWaveSpeeds() (head, tail float64) {
+	if s.PStar > s.L.P {
+		sh := s.L.U - s.AL*math.Sqrt((s.Gamma+1)/(2*s.Gamma)*s.PStar/s.L.P+(s.Gamma-1)/(2*s.Gamma))
+		return sh, sh
+	}
+	aStar := s.AL * math.Pow(s.PStar/s.L.P, (s.Gamma-1)/(2*s.Gamma))
+	return s.L.U - s.AL, s.UStar - aStar
+}
+
+// RightWaveSpeeds returns the speeds of the right wave: (tail, head) of a
+// rarefaction, or (s, s) for a shock.
+func (s *RiemannSolution) RightWaveSpeeds() (tail, head float64) {
+	if s.PStar > s.R.P {
+		sh := s.R.U + s.AR*math.Sqrt((s.Gamma+1)/(2*s.Gamma)*s.PStar/s.R.P+(s.Gamma-1)/(2*s.Gamma))
+		return sh, sh
+	}
+	aStar := s.AR * math.Pow(s.PStar/s.R.P, (s.Gamma-1)/(2*s.Gamma))
+	return s.UStar + aStar, s.R.U + s.AR
+}
+
+// Sample evaluates the similarity solution at xi = x/t (diaphragm at
+// x = 0, t > 0).
+func (s *RiemannSolution) Sample(xi float64) RiemannState {
+	g := s.Gamma
+	if xi <= s.UStar {
+		// Left of the contact.
+		head, tail := s.LeftWaveSpeeds()
+		switch {
+		case xi <= head:
+			return s.L
+		case xi >= tail:
+			return RiemannState{Rho: s.RhoStarL, U: s.UStar, P: s.PStar}
+		default: // inside the left rarefaction fan
+			c := 2/(g+1) + (g-1)/((g+1)*s.AL)*(s.L.U-xi)
+			return RiemannState{
+				Rho: s.L.Rho * math.Pow(c, 2/(g-1)),
+				U:   2 / (g + 1) * (s.AL + (g-1)/2*s.L.U + xi),
+				P:   s.L.P * math.Pow(c, 2*g/(g-1)),
+			}
+		}
+	}
+	// Right of the contact.
+	tail, head := s.RightWaveSpeeds()
+	switch {
+	case xi >= head:
+		return s.R
+	case xi <= tail:
+		return RiemannState{Rho: s.RhoStarR, U: s.UStar, P: s.PStar}
+	default: // inside the right rarefaction fan
+		c := 2/(g+1) - (g-1)/((g+1)*s.AR)*(s.R.U-xi)
+		return RiemannState{
+			Rho: s.R.Rho * math.Pow(c, 2/(g-1)),
+			U:   2 / (g + 1) * (-s.AR + (g-1)/2*s.R.U + xi),
+			P:   s.R.P * math.Pow(c, 2*g/(g-1)),
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"eul3d/internal/euler"
 	"eul3d/internal/meshio"
+	"eul3d/internal/scenario"
 	"eul3d/internal/solver"
 	"eul3d/internal/trace"
 )
@@ -57,6 +58,7 @@ type Job struct {
 	history  []float64
 	errMsg   string
 	result   *solver.Result
+	diag     *scenario.Diagnostics // scenario jobs: post-run diagnostics
 	key      EngineKey
 	keySet   bool
 	built    bool // this job performed the engine construction (cache miss)
@@ -87,6 +89,10 @@ type JobView struct {
 	Error       string    `json:"error,omitempty"`
 	Engine      string    `json:"engine_key,omitempty"`
 	CacheHit    *bool     `json:"cache_hit,omitempty"`
+
+	// Diagnostics is present on completed scenario jobs: the preset's
+	// physics record (L1 error vs the analytic reference, field ranges).
+	Diagnostics *scenario.Diagnostics `json:"diagnostics,omitempty"`
 }
 
 // View snapshots the job.
@@ -114,6 +120,7 @@ func (j *Job) View() JobView {
 		v.Converged = r.Converged
 		v.Orders = r.Ordersof10
 	}
+	v.Diagnostics = j.diag
 	return v
 }
 
@@ -538,6 +545,14 @@ func (s *Scheduler) dispatch(j *Job) {
 			s.finish(j, nil, fmt.Errorf("restoring checkpoint: %w", err))
 			return
 		}
+	} else if sc := j.Spec.scenario(); sc != nil {
+		// Scenario jobs start from the preset's initial state, not the
+		// freestream Reset left behind. A resumed job skips this: the
+		// checkpoint already holds the evolved state.
+		if err := st.SetInitial(sc.InitialState(ms[0])); err != nil {
+			s.finish(j, nil, fmt.Errorf("scenario initial state: %w", err))
+			return
+		}
 	}
 	opts := solver.Options{
 		MaxCycles: j.Spec.Cycles,
@@ -597,6 +612,15 @@ func (s *Scheduler) dispatch(j *Job) {
 	if i, v, diverged := divergedAt(res.History); diverged {
 		s.finish(j, res, fmt.Errorf("diverged: residual %g at cycle %d", v, i))
 		return
+	}
+	if sc := j.Spec.scenario(); sc != nil {
+		// Diagnose before the engine lease is released: the record needs
+		// only the result's solution copy and the fine mesh, both stable,
+		// but computing it here keeps the job's lifecycle phases honest.
+		d := sc.Diagnose(ms[0], res.FineSolution, res.FinalNorm)
+		j.mu.Lock()
+		j.diag = &d
+		j.mu.Unlock()
 	}
 	s.finish(j, res, nil)
 }

@@ -27,6 +27,7 @@ import (
 	"eul3d/internal/mesh"
 	"eul3d/internal/meshgen"
 	"eul3d/internal/meshio"
+	"eul3d/internal/scenario"
 )
 
 // Engine kinds selectable per job.
@@ -57,6 +58,13 @@ type JobSpec struct {
 	Mach     float64  `json:"mach"`
 	AlphaDeg float64  `json:"alpha"`
 
+	// Scenario names a preset from internal/scenario. It replaces the mesh
+	// spec, Mach/alpha and numerical parameters wholesale (the two are
+	// mutually exclusive), defaults Cycles/Tol to the preset's values, and
+	// makes the job start from the preset's initial state instead of the
+	// freestream. The response carries the preset's diagnostics.
+	Scenario string `json:"scenario,omitempty"`
+
 	Engine  string `json:"engine,omitempty"`  // single | sm | mg | smmg (default single)
 	Workers int    `json:"workers,omitempty"` // pooled kinds: worker-pool size (default 2)
 	Levels  int    `json:"levels,omitempty"`  // multigrid kinds: grid levels (default 3)
@@ -75,6 +83,25 @@ const MaxCyclesLimit = 1 << 20
 
 // Validate normalizes defaults in place and rejects malformed specs.
 func (s *JobSpec) Validate() error {
+	var sc *scenario.Scenario
+	if s.Scenario != "" {
+		var err error
+		if sc, err = scenario.Get(s.Scenario); err != nil {
+			return err
+		}
+		if s.Mesh != (MeshSpec{}) {
+			return fmt.Errorf("serve: scenario %q and an explicit mesh are mutually exclusive", s.Scenario)
+		}
+		if s.Mach != 0 || s.AlphaDeg != 0 {
+			return fmt.Errorf("serve: scenario %q fixes the flow state; mach/alpha must be unset", s.Scenario)
+		}
+		if s.Cycles == 0 {
+			s.Cycles = sc.Steps
+		}
+		if s.Tol == 0 {
+			s.Tol = sc.Tol
+		}
+	}
 	if s.Engine == "" {
 		s.Engine = KindSingle
 	}
@@ -96,8 +123,18 @@ func (s *JobSpec) Validate() error {
 		if s.Levels == 0 {
 			s.Levels = 3
 		}
-		if s.Levels < 2 || s.Levels > 8 {
-			return fmt.Errorf("serve: levels %d out of range [2,8]", s.Levels)
+		minLevels := 2
+		if sc != nil {
+			// Scenario presets cap the hierarchy depth; unsteady ones force
+			// a single level, where a cycle degenerates to exactly one
+			// time-accurate fine-grid step.
+			if s.Levels > sc.MaxLevels {
+				s.Levels = sc.MaxLevels
+			}
+			minLevels = 1
+		}
+		if s.Levels < minLevels || s.Levels > 8 {
+			return fmt.Errorf("serve: levels %d out of range [%d,8]", s.Levels, minLevels)
 		}
 		switch s.Cycle {
 		case "":
@@ -109,7 +146,7 @@ func (s *JobSpec) Validate() error {
 	default:
 		s.Levels, s.Cycle = 1, ""
 	}
-	if s.Mesh.Path == "" {
+	if s.Scenario == "" && s.Mesh.Path == "" {
 		if s.Mesh.NX < 1 || s.Mesh.NY < 1 || s.Mesh.NZ < 1 {
 			return fmt.Errorf("serve: mesh dimensions %dx%dx%d must be positive", s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ)
 		}
@@ -147,12 +184,33 @@ func (s *JobSpec) gamma() int {
 // the job runs (0 for sequential kinds).
 func (s *JobSpec) pooledWorkers() int { return s.Workers }
 
+// scenario returns the job's preset, or nil. The spec has been Validated,
+// so a lookup failure is impossible; it returns nil defensively anyway.
+func (s *JobSpec) scenario() *scenario.Scenario {
+	if s.Scenario == "" {
+		return nil
+	}
+	sc, err := scenario.Get(s.Scenario)
+	if err != nil {
+		return nil
+	}
+	return sc
+}
+
 // Params builds the numerical parameter set for the job.
-func (s *JobSpec) Params() euler.Params { return euler.DefaultParams(s.Mach, s.AlphaDeg) }
+func (s *JobSpec) Params() euler.Params {
+	if sc := s.scenario(); sc != nil {
+		return sc.Params()
+	}
+	return euler.DefaultParams(s.Mach, s.AlphaDeg)
+}
 
 // BuildMeshes generates or loads the job's mesh sequence (finest first;
 // one level for single-grid kinds).
 func (s *JobSpec) BuildMeshes() ([]*mesh.Mesh, error) {
+	if sc := s.scenario(); sc != nil {
+		return sc.Meshes(s.Levels)
+	}
 	if s.Mesh.Path != "" {
 		out := make([]*mesh.Mesh, s.Levels)
 		for l := 0; l < s.Levels; l++ {
@@ -195,8 +253,10 @@ func (s *JobSpec) Key(ms []*mesh.Mesh) EngineKey {
 	}
 	p := s.Params()
 	// The parameter set contains only numeric fields and a fixed-length
-	// stage table; its printed form is a stable content fingerprint.
-	fmt.Fprintf(h, "|params=%v|gamma=%d", p, s.gamma())
+	// stage table; its printed form is a stable content fingerprint. The
+	// scenario name is folded in explicitly: a preset also fixes the
+	// initial state, which the mesh+params hash cannot see.
+	fmt.Fprintf(h, "|params=%v|gamma=%d|scenario=%s", p, s.gamma(), s.Scenario)
 	k := EngineKey{Kind: s.Engine, Workers: s.Workers}
 	h.Sum(k.Sum[:0])
 	return k

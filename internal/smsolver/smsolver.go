@@ -532,8 +532,12 @@ func (e *engine) step(lev *levelEngine, w, forcing []euler.State) float64 {
 	// also loads the SoA solution block, and the trailing one zeroes the
 	// stage-0 accumulators.
 	e.fork(tInit, 0, lev.vertActive)
-	e.coloredEdges(tLamEdges)
-	e.coloredFaces(tLamFaces)
+	if d.P.GlobalDt <= 0 {
+		// Time-accurate runs use a fixed global dt; the spectral radii feed
+		// only the local time steps, so the colored loops are skipped.
+		e.coloredEdges(tLamEdges)
+		e.coloredFaces(tLamFaces)
+	}
 	e.zeroDiss = euler.DissipStages > 0
 	e.fork(tDtZero, 0, lev.vertActive)
 	e.tick(phTimestep, lev.flTimestep, &t)
