@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify serve-smoke cluster-smoke trace-smoke scenario-smoke bench bench-check clean
+.PHONY: all build test race verify serve-smoke cluster-smoke store-smoke trace-smoke scenario-smoke bench bench-check clean
 
 all: build
 
@@ -17,10 +17,11 @@ test:
 # and pooled multigrid, V- and W-cycles), the transfer operators the
 # pooled multigrid scatters in parallel, the flight-recorder tracer
 # whose rings are written from every worker concurrently, the cluster
-# coordinator with its health monitors and handoff machinery, and the
-# scenario harness that drives every engine over the presets.
+# coordinator with its health monitors and handoff machinery, the
+# scenario harness that drives every engine over the presets, and the
+# content-addressed artifact store hit from every HTTP handler at once.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/... ./internal/store/...
 
 # End-to-end serving smoke: build eul3dd, start it on a random port, run a
 # channel-mesh job to completion, check /metrics, then SIGTERM it mid-job
@@ -36,6 +37,14 @@ serve-smoke:
 cluster-smoke:
 	$(GO) test -run TestClusterSmoke -count 1 -v ./cmd/eul3dc
 
+# End-to-end artifact-store smoke: upload a mesh once to the coordinator,
+# solve it by content hash (the coordinator pushes the blob to the chosen
+# node), kill -9 that node after a checkpoint, and verify the job finishes
+# on the survivor — mesh and checkpoint both travelling as hash references
+# — bitwise identical to an uninterrupted reference run.
+store-smoke:
+	$(GO) test -run TestStoreSmoke -count 1 -v ./cmd/eul3dc
+
 # Flight-recorder smoke: build eul3d, run it traced on the shared-memory
 # and fault-injected distributed paths, and validate every emitted file as
 # loadable Chrome trace JSON (including the automatic incident dump).
@@ -50,16 +59,19 @@ scenario-smoke:
 	$(GO) test -run TestScenarioSmoke -count 1 -v ./cmd/eul3dd
 
 # Full gate: vet, all tests, race pass, short fuzz smokes on the
-# fault-spec parser and the exact Riemann solver (errors, never panics),
-# and the serving, cluster, tracing and scenario smoke tests.
+# fault-spec parser, the exact Riemann solver and the artifact blob frame
+# decoder (errors, never panics), and the serving, cluster, artifact-store,
+# tracing and scenario smoke tests.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/... ./internal/store/...
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 2s ./internal/simnet
 	$(GO) test -run '^$$' -fuzz FuzzRiemann -fuzztime 2s ./internal/scenario
+	$(GO) test -run '^$$' -fuzz FuzzArtifactDecode -fuzztime 2s ./internal/store
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/eul3dd
 	$(GO) test -run TestClusterSmoke -count 1 ./cmd/eul3dc
+	$(GO) test -run TestStoreSmoke -count 1 ./cmd/eul3dc
 	$(GO) test -run TestTraceSmoke -count 1 ./cmd/eul3d
 	$(GO) test -run TestScenarioSmoke -count 1 ./cmd/eul3dd
 	$(MAKE) bench-check

@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"eul3d/internal/meshgen"
+	"eul3d/internal/meshio"
+	"eul3d/internal/store"
+)
+
+// putArtifact uploads bytes to an artifact endpoint and returns the hash
+// the server computed.
+func putArtifact(t *testing.T, base string, data []byte) string {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, base+"/v1/artifacts", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("PUT %s/v1/artifacts: %d %s", base, resp.StatusCode, b)
+	}
+	var v struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v.Hash
+}
+
+// TestStoreSmoke is the end-to-end artifact-store smoke test behind
+// `make store-smoke`: upload a mesh once to the coordinator, solve it by
+// hash (the coordinator pushes the blob to whichever node placement
+// picks), kill -9 that node mid-solve, and require the job to finish on
+// the survivor — mesh and checkpoint both moving as hash references —
+// with a history bitwise identical to an uninterrupted reference run.
+func TestStoreSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke test skipped in -short mode")
+	}
+	bindir := t.TempDir()
+	ddBin := filepath.Join(bindir, "eul3dd")
+	dcBin := filepath.Join(bindir, "eul3dc")
+	if out, err := exec.Command("go", "build", "-o", ddBin, "../eul3dd").CombinedOutput(); err != nil {
+		t.Fatalf("building eul3dd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", dcBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building eul3dc: %v\n%s", err, out)
+	}
+
+	// The mesh travels as bytes, never as generator parameters.
+	ms, err := meshgen.Sequence(meshgen.DefaultChannel(8, 4, 3, 17), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meshBytes, err := meshio.EncodeMesh(ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHash := store.Sum(meshBytes)
+	jobFor := func(hash string) string {
+		return fmt.Sprintf(`{"mesh":{"hash":%q},"mach":0.5,"alpha":1.0,"engine":"sm","workers":2,"cycles":6000}`, hash)
+	}
+
+	// Reference: the same by-hash solve on a lone unkilled node, plus the
+	// conditional-GET contract on its completed view.
+	refNode := startProc(t, ddBin, "eul3dd", "-addr", "127.0.0.1:0",
+		"-queue-cap", "8", "-runners", "2", "-worker-budget", "8")
+	if got := putArtifact(t, refNode.base, meshBytes); got != wantHash {
+		t.Fatalf("reference node hashed the mesh as %s, want %s", got, wantHash)
+	}
+	refID := submitJob(t, refNode.base, jobFor(wantHash))
+	refView := pollJob(t, refNode.base, refID, 120*time.Second, "completed")
+	if len(refView.History) != 6000 {
+		t.Fatalf("reference history has %d entries, want 6000", len(refView.History))
+	}
+	func() {
+		req, _ := http.NewRequest(http.MethodGet, refNode.base+"/v1/jobs/"+refID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		etag := resp.Header.Get("ETag")
+		if etag == "" {
+			t.Fatal("completed job view has no ETag")
+		}
+		req2, _ := http.NewRequest(http.MethodGet, refNode.base+"/v1/jobs/"+refID, nil)
+		req2.Header.Set("If-None-Match", etag)
+		resp2, err := http.DefaultClient.Do(req2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode != http.StatusNotModified {
+			t.Fatalf("conditional GET with matching ETag: %d, want 304", resp2.StatusCode)
+		}
+	}()
+	refNode.cmd.Process.Signal(syscall.SIGTERM)
+
+	// The cluster: two checkpointing nodes with disk-backed stores, one
+	// coordinator. The mesh is uploaded to the coordinator exactly once.
+	nodes := map[string]*proc{}
+	nodeFlags := make([]string, 0, 2)
+	for i := 1; i <= 2; i++ {
+		name := fmt.Sprintf("n%d", i)
+		p := startProc(t, ddBin, "eul3dd", "-addr", "127.0.0.1:0", "-state-dir", t.TempDir(),
+			"-artifact-dir", t.TempDir(),
+			"-queue-cap", "8", "-runners", "2", "-worker-budget", "8", "-checkpoint-every", "20")
+		nodes[name] = p
+		nodeFlags = append(nodeFlags, name+"="+p.base)
+	}
+	coord := startProc(t, dcBin, "eul3dc", "-addr", "127.0.0.1:0",
+		"-nodes", strings.Join(nodeFlags, ","),
+		"-heartbeat", smokeHeartbeat.String(),
+		"-miss-threshold", fmt.Sprint(smokeMissThreshold),
+		"-probe-timeout", "2s",
+		"-fetch-interval", "25ms")
+	waitForRoutable(t, coord.base, 2)
+
+	if got := putArtifact(t, coord.base, meshBytes); got != wantHash {
+		t.Fatalf("coordinator hashed the mesh as %s, want %s", got, wantHash)
+	}
+	jobID := submitJob(t, coord.base, jobFor(wantHash))
+
+	// Kill the node the job landed on once a checkpoint is in hand: the
+	// handoff must move the mesh AND the checkpoint to the survivor by
+	// hash (the dead node's disk store is unreachable).
+	victim := waitForCheckpoint(t, coord.base, jobID)
+	t.Logf("killing node %s (SIGKILL) with job %s checkpointed", victim, jobID)
+	if err := nodes[victim].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+
+	v := pollJob(t, coord.base, jobID, 180*time.Second, "completed")
+	if v.Node == victim {
+		t.Fatalf("job reports completion on the killed node %s", victim)
+	}
+	if v.Handoffs < 1 {
+		t.Errorf("handoffs = %d, want >= 1", v.Handoffs)
+	}
+	if len(v.History) != len(refView.History) {
+		t.Fatalf("history length %d after handoff, want %d", len(v.History), len(refView.History))
+	}
+	for i := range refView.History {
+		if v.History[i] != refView.History[i] {
+			t.Fatalf("history diverges from reference at cycle %d: %v != %v",
+				i, v.History[i], refView.History[i])
+		}
+	}
+
+	// The uploaded artifact is still retrievable through the coordinator
+	// (from its own cache or proxied off the survivor).
+	aresp, err := http.Get(coord.base + "/v1/artifacts/" + wantHash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, _ := io.ReadAll(aresp.Body)
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusOK || !bytes.Equal(gotBytes, meshBytes) {
+		t.Fatalf("GET artifact after kill: status %d, %d bytes", aresp.StatusCode, len(gotBytes))
+	}
+
+	// The counters tell the upload-once story: one client upload, pushes
+	// to the nodes placement picked, at least one handoff.
+	body := httpGetBody(t, coord.base+"/metrics")
+	if !strings.Contains(body, "eul3dc_artifact_uploads_total 1") {
+		t.Errorf("/metrics missing the single artifact upload:\n%s", body)
+	}
+	for _, re := range []string{
+		`(?m)^eul3dc_artifact_pushes_total ([1-9]\d*)`,
+		`(?m)^eul3dc_handoffs_total ([1-9]\d*)`,
+		`(?m)^eul3dc_checkpoint_pulls_total ([1-9]\d*)`,
+	} {
+		if regexp.MustCompile(re).FindString(body) == "" {
+			t.Errorf("/metrics missing a nonzero %s:\n%s", re, body)
+		}
+	}
+
+	coord.cmd.Process.Signal(syscall.SIGTERM)
+	for name, p := range nodes {
+		if name != victim {
+			p.cmd.Process.Signal(syscall.SIGTERM)
+		}
+	}
+}

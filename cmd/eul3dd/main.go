@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"eul3d/internal/serve"
+	"eul3d/internal/store"
 	"eul3d/internal/trace"
 )
 
@@ -45,6 +46,9 @@ func main() {
 		cacheCap     = flag.Int("cache-cap", 4, "idle engines kept warm")
 		stateDir     = flag.String("state-dir", "", "drain checkpoints + resume sidecars (empty disables resume)")
 		ckptEvery    = flag.Int("checkpoint-every", 0, "checkpoint running jobs every N cycles (with -state-dir; survives SIGKILL, enables cluster handoff)")
+		artDir       = flag.String("artifact-dir", "", "artifact-store disk tier (empty keeps uploads in memory only)")
+		artMemMB     = flag.Int("artifact-mem-mb", 256, "artifact-store memory budget in MiB")
+		artDiskMB    = flag.Int("artifact-disk-mb", 2048, "artifact-store disk budget in MiB (with -artifact-dir)")
 		drainWait    = flag.Duration("drain-timeout", 30*time.Second, "grace period for SIGTERM drain")
 		quiet        = flag.Bool("quiet", false, "suppress per-job logging")
 		doTrace      = flag.Bool("trace", false, "enable the flight recorder; dump it as Chrome trace JSON at GET /debug/trace")
@@ -67,6 +71,14 @@ func main() {
 	if *doTrace {
 		tracer = trace.New(*traceRing)
 	}
+	art, err := store.New(store.Config{
+		Dir:        *artDir,
+		MemBudget:  int64(*artMemMB) << 20,
+		DiskBudget: int64(*artDiskMB) << 20,
+	})
+	if err != nil {
+		logger.Fatalf("opening artifact store: %v", err)
+	}
 	sched := serve.NewScheduler(serve.Config{
 		QueueCap:        *queueCap,
 		Runners:         *runners,
@@ -74,6 +86,7 @@ func main() {
 		CacheCap:        *cacheCap,
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckptEvery,
+		Store:           art,
 		Log:             logger,
 		Trace:           tracer,
 	})

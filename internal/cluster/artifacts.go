@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"eul3d/internal/store"
+)
+
+// Artifact movement: meshes and checkpoints travel the cluster by content
+// hash. A client uploads bytes once (to the coordinator or any node) and
+// every subsequent reference — a solve spec's mesh hash, a handoff's
+// resume hash — is a 64-char key. The coordinator closes the gaps: before
+// placing a job it makes sure the target node holds every artifact the
+// job names, pushing from its own cache or proxying from whichever peer
+// has the bytes.
+
+// ensureArtifact makes hash present on node n. Cheapest path first: the
+// node already holds it; else push from the coordinator's cache; else
+// proxy the bytes from a peer node, cache them, and push.
+func (c *Coordinator) ensureArtifact(n *node, hash string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	ok, err := n.client.artifactHas(ctx, hash)
+	cancel()
+	if err == nil && ok {
+		return nil
+	}
+	data, gerr := c.store.Get(hash)
+	if gerr != nil {
+		if data = c.proxyArtifact(hash, n.name); data == nil {
+			return fmt.Errorf("cluster: artifact %s held by neither the coordinator nor any peer", hash[:12])
+		}
+	}
+	pctx, pcancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+	got, err := n.client.artifactPut(pctx, data)
+	pcancel()
+	if err != nil {
+		return err
+	}
+	if got != hash {
+		return fmt.Errorf("cluster: node %s stored artifact as %s, want %s", n.name, got[:12], hash[:12])
+	}
+	c.met.ArtifactPushes.Add(1)
+	return nil
+}
+
+// proxyArtifact fetches hash's bytes from any live node except skip,
+// verifying the content against the hash and caching it in the
+// coordinator's store. It returns nil when no peer holds the artifact.
+func (c *Coordinator) proxyArtifact(hash, skip string) []byte {
+	c.mu.Lock()
+	peers := make([]*node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		peers = append(peers, n)
+	}
+	c.mu.Unlock()
+	for _, n := range peers {
+		// Draining and saturated nodes still serve their stores; only a
+		// node that stopped answering probes is skipped.
+		if n.name == skip || n.statusNow() == StatusUnhealthy {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		data, err := n.client.artifactGet(ctx, hash)
+		cancel()
+		if err != nil || data == nil {
+			continue
+		}
+		if store.Sum(data) != hash {
+			c.cfg.Log.Printf("artifact %s: node %s served mismatched content", hash[:12], n.name)
+			continue
+		}
+		c.store.Put(data)
+		c.met.ArtifactProxies.Add(1)
+		return data
+	}
+	return nil
+}

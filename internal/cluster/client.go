@@ -67,11 +67,13 @@ func (nc *nodeClient) readyz(ctx context.Context) beatResult {
 }
 
 // submitRequest mirrors eul3dd's solve body: the spec plus the handoff
-// identity and resume checkpoint.
+// identity and resume checkpoint — by artifact hash when the node's store
+// holds the checkpoint, inline base64 otherwise.
 type submitRequest struct {
 	serve.JobSpec
-	ID     string `json:"id,omitempty"`
-	Resume string `json:"resume,omitempty"`
+	ID         string `json:"id,omitempty"`
+	Resume     string `json:"resume,omitempty"`
+	ResumeHash string `json:"resume_hash,omitempty"`
 }
 
 // submit dispatches a job to the node. On 202 it returns the node's view.
@@ -132,6 +134,73 @@ func (nc *nodeClient) cancel(ctx context.Context, id string) error {
 	}
 	resp.Body.Close()
 	return nil
+}
+
+// artifactHas reports whether the node's artifact store holds hash.
+func (nc *nodeClient) artifactHas(ctx context.Context, hash string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, nc.base+"/v1/artifacts/"+hash, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	}
+	return false, fmt.Errorf("node %s: artifact %s: status %d", nc.base, hash[:12], resp.StatusCode)
+}
+
+// artifactGet fetches an artifact's bytes. A (nil, nil) return means the
+// node does not hold it.
+func (nc *nodeClient) artifactGet(ctx context.Context, hash string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, nc.base+"/v1/artifacts/"+hash, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("node %s: artifact %s: status %d", nc.base, hash[:12], resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+}
+
+// artifactPut uploads bytes to the node's store, returning the hash the
+// node computed (the caller verifies it matches the expected one).
+func (nc *nodeClient) artifactPut(ctx context.Context, data []byte) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, nc.base+"/v1/artifacts", bytes.NewReader(data))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := nc.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return "", fmt.Errorf("node %s: artifact put: %d %s", nc.base, resp.StatusCode, bytes.TrimSpace(b))
+	}
+	var v struct {
+		Hash string `json:"hash"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return "", err
+	}
+	return v.Hash, nil
 }
 
 // checkpoint pulls the job's latest periodic checkpoint. A (nil, nil)

@@ -40,6 +40,7 @@ import (
 
 	"eul3d/internal/meshio"
 	"eul3d/internal/serve"
+	"eul3d/internal/store"
 	"eul3d/internal/trace"
 )
 
@@ -124,11 +125,18 @@ type Coordinator struct {
 	bo  *Backoff
 	hc  *http.Client
 
-	mu    sync.Mutex
-	nodes map[string]*node
-	ring  *Ring
-	jobs  map[string]*cjob
-	warm  map[string]string // route key -> node the key's engine is warm on
+	// store caches artifacts passing through the coordinator — client
+	// uploads, peer proxy fetches, pulled checkpoints — so placement can
+	// push them to nodes without a round trip to wherever they came from.
+	// Memory-only: the nodes own the durable tier.
+	store *store.Store
+
+	mu      sync.Mutex
+	nodes   map[string]*node
+	ring    *Ring
+	jobs    map[string]*cjob
+	warm    map[string]string // route key -> node the key's engine is warm on
+	flights map[string]*cjob  // spec hash -> in-flight job new identical submissions attach to
 
 	stopc   chan struct{}
 	stopped bool
@@ -139,21 +147,26 @@ type Coordinator struct {
 func New(cfg Config) *Coordinator {
 	cfg.fill()
 	return &Coordinator{
-		cfg:   cfg,
-		met:   &Metrics{},
-		trc:   newClusterTrace(cfg.Trace),
-		bo:    NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
-		hc:    &http.Client{},
-		nodes: make(map[string]*node),
-		ring:  NewRing(cfg.Replicas),
-		jobs:  make(map[string]*cjob),
-		warm:  make(map[string]string),
-		stopc: make(chan struct{}),
+		cfg:     cfg,
+		met:     &Metrics{},
+		trc:     newClusterTrace(cfg.Trace),
+		bo:      NewBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
+		hc:      &http.Client{},
+		store:   store.NewMemory(),
+		nodes:   make(map[string]*node),
+		ring:    NewRing(cfg.Replicas),
+		jobs:    make(map[string]*cjob),
+		warm:    make(map[string]string),
+		flights: make(map[string]*cjob),
+		stopc:   make(chan struct{}),
 	}
 }
 
 // Metrics returns the coordinator's counter block.
 func (c *Coordinator) Metrics() *Metrics { return c.met }
+
+// Store returns the coordinator's artifact cache.
+func (c *Coordinator) Store() *store.Store { return c.store }
 
 // Tracer returns the flight recorder (nil when tracing is disabled).
 func (c *Coordinator) Tracer() *trace.Tracer { return c.cfg.Trace }
@@ -336,8 +349,8 @@ func (c *Coordinator) RetryAfterHint() int {
 // be validated (defaults normalized) first.
 func RouteKey(spec serve.JobSpec) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "mesh=%s/%d/%d/%d/%d|mach=%x|alpha=%x|engine=%s|workers=%d|levels=%d|cycle=%s",
-		spec.Mesh.Path, spec.Mesh.NX, spec.Mesh.NY, spec.Mesh.NZ, spec.Mesh.Seed,
+	fmt.Fprintf(h, "scenario=%s|mesh=%s/%s/%d/%d/%d/%d|mach=%x|alpha=%x|engine=%s|workers=%d|levels=%d|cycle=%s",
+		spec.Scenario, spec.Mesh.Hash, spec.Mesh.Path, spec.Mesh.NX, spec.Mesh.NY, spec.Mesh.NZ, spec.Mesh.Seed,
 		spec.Mach, spec.AlphaDeg, spec.Engine, spec.Workers, spec.Levels, spec.Cycle)
 	return hex.EncodeToString(h.Sum(nil)[:8])
 }
@@ -397,20 +410,49 @@ func (c *Coordinator) pin(key, name string) {
 
 // --- jobs -----------------------------------------------------------------
 
-// cjob is one job tracked by the coordinator across placements.
+// cjob is one job tracked by the coordinator across placements — or, when
+// primary is set, a coalesced waiter that never places at all: it mirrors
+// the primary's terminal view when that run lands.
 type cjob struct {
-	ID   string
-	Spec serve.JobSpec
-	key  string
-	done chan struct{}
+	ID       string
+	Spec     serve.JobSpec
+	key      string
+	specHash string // coalescing key; identical live submissions attach here
+	done     chan struct{}
+
+	// Waiter-only fields (nil/unused on placed jobs).
+	primary    *cjob
+	cancelc    chan struct{}
+	cancelOnce sync.Once
 
 	mu        sync.Mutex
 	node      string // current placement ("" while unplaced)
 	view      serve.JobView
 	ckpt      []byte // last pulled checkpoint, raw meshio bytes
+	ckptHash  string // the checkpoint's key in the coordinator's store
 	ckptCycle int
 	handoffs  int
 	cancelled bool // cancel requested through the coordinator
+	parties   int  // coalescing: submissions still interested in this run
+	dead      bool // last party left; the run is being cancelled
+}
+
+// join atomically admits one more party to this job's flight; it reports
+// false when the flight can no longer be joined (all parties cancelled,
+// or the run already finished).
+func (j *cjob) join() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dead || j.parties <= 0 {
+		return false
+	}
+	select {
+	case <-j.done:
+		return false
+	default:
+	}
+	j.parties++
+	return true
 }
 
 // Done returns a channel closed when the job reaches a terminal state (or
@@ -460,18 +502,122 @@ func (c *Coordinator) Submit(spec serve.JobSpec) (*cjob, error) {
 		}
 		return nil, ErrNoHealthyNodes
 	}
-	j := &cjob{ID: newClusterJobID(), Spec: spec, key: RouteKey(spec), done: make(chan struct{})}
+	specHash := spec.SpecHash()
 	c.mu.Lock()
 	if c.stopped {
 		c.mu.Unlock()
 		return nil, errors.New("cluster: coordinator closed")
 	}
+	if p := c.flights[specHash]; p != nil && p.join() {
+		// An identical job is already in flight somewhere on the cluster:
+		// attach instead of dispatching a duplicate run. The waiter is a
+		// full job — pollable, cancellable — that mirrors the primary's
+		// terminal view, which is bitwise identical to what its own run
+		// would have produced.
+		att := &cjob{
+			ID:      newClusterJobID(),
+			Spec:    spec,
+			key:     RouteKey(spec),
+			primary: p,
+			cancelc: make(chan struct{}),
+			done:    make(chan struct{}),
+		}
+		att.view.ID = att.ID
+		att.view.State = serve.StateCoalesced
+		att.view.CoalescedWith = p.ID
+		c.jobs[att.ID] = att
+		c.wg.Add(1)
+		c.mu.Unlock()
+		c.met.Submitted.Add(1)
+		c.met.CoalesceAttach.Add(1)
+		if tk := c.trc.jobTrack(att.ID); tk != nil {
+			tk.Instant(c.trc.phAttach, time.Now(), 0)
+		}
+		c.cfg.Log.Printf("job %s: coalesced onto %s", att.ID, p.ID)
+		go c.mirror(p, att)
+		return att, nil
+	}
+	j := &cjob{ID: newClusterJobID(), Spec: spec, key: RouteKey(spec), specHash: specHash, done: make(chan struct{})}
+	j.parties = 1
 	c.jobs[j.ID] = j
+	c.flights[specHash] = j
 	c.wg.Add(1)
 	c.mu.Unlock()
 	c.met.Submitted.Add(1)
 	go c.runJob(j)
 	return j, nil
+}
+
+// mirror is a coalesced waiter's watcher: copy the primary's terminal
+// view when its run lands, or detach on the waiter's own cancellation
+// (the primary's run is cancelled only when its last party leaves).
+func (c *Coordinator) mirror(p, att *cjob) {
+	defer c.wg.Done()
+	select {
+	case <-p.done:
+		pv := p.View()
+		att.mu.Lock()
+		att.view = pv.JobView
+		att.view.ID = att.ID
+		att.view.Spec = att.Spec
+		att.view.CoalescedWith = p.ID
+		att.node = pv.Node
+		att.handoffs = pv.Handoffs
+		att.ckptCycle = pv.CheckpointCycle
+		att.mu.Unlock()
+		c.met.CoalesceFanout.Add(1)
+		if tk := c.trc.jobTrack(att.ID); tk != nil {
+			tk.Instant(c.trc.phFanout, time.Now(), int64(pv.Cycles))
+		}
+		close(att.done)
+	case <-att.cancelc:
+		att.mu.Lock()
+		att.view.State = serve.StateCancelled
+		att.cancelled = true
+		att.mu.Unlock()
+		c.met.Cancelled.Add(1)
+		if tk := c.trc.jobTrack(att.ID); tk != nil {
+			tk.Instant(c.trc.phDone, time.Now(), 0)
+		}
+		close(att.done)
+		c.leaveParty(p)
+	}
+}
+
+// leaveParty drops one interested party from a flight; the last one out
+// cancels the underlying run on its node.
+func (c *Coordinator) leaveParty(j *cjob) {
+	j.mu.Lock()
+	j.parties--
+	last := j.parties <= 0 && !j.dead
+	if last {
+		j.dead = true
+		j.cancelled = true
+	}
+	name := j.node
+	j.mu.Unlock()
+	if !last {
+		return
+	}
+	if n := c.nodeByName(name); n != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		defer cancel()
+		n.client.cancel(ctx, j.ID)
+	}
+}
+
+// retireFlight deregisters a finished job's flight so late identical
+// submissions start a fresh run instead of attaching to a closed one. It
+// runs before the job's done channel closes.
+func (c *Coordinator) retireFlight(j *cjob) {
+	if j.specHash == "" {
+		return
+	}
+	c.mu.Lock()
+	if c.flights[j.specHash] == j {
+		delete(c.flights, j.specHash)
+	}
+	c.mu.Unlock()
 }
 
 // Job looks a job up by ID.
@@ -485,13 +631,30 @@ func (c *Coordinator) Job(id string) (*cjob, error) {
 	return j, nil
 }
 
-// Cancel forwards cooperative cancellation to the job's current node.
+// Cancel requests cooperative cancellation. Coalesced flights are
+// party-counted: cancelling a waiter (or the original submitter) detaches
+// only that caller; the run on the node is cancelled when the last
+// interested party leaves.
 func (c *Coordinator) Cancel(id string) (*cjob, error) {
 	j, err := c.Job(id)
 	if err != nil {
 		return nil, err
 	}
+	if j.primary != nil {
+		j.cancelOnce.Do(func() { close(j.cancelc) })
+		return j, nil
+	}
 	j.mu.Lock()
+	if j.specHash != "" {
+		if j.cancelled {
+			j.mu.Unlock()
+			return j, nil
+		}
+		j.cancelled = true
+		j.mu.Unlock()
+		c.leaveParty(j)
+		return j, nil
+	}
 	j.cancelled = true
 	name := j.node
 	j.mu.Unlock()
@@ -527,6 +690,7 @@ const (
 func (c *Coordinator) runJob(j *cjob) {
 	defer c.wg.Done()
 	defer close(j.done)
+	defer c.retireFlight(j) // before done closes: no attaching to a closed run
 	parkDeadline := time.Now().Add(c.cfg.ParkTimeout)
 	for {
 		n, err := c.place(j)
@@ -592,12 +756,35 @@ func (c *Coordinator) place(j *cjob) (*node, error) {
 		if !ok {
 			return nil, ErrNoHealthyNodes
 		}
+		// A hash-named mesh must be on the node before the spec referencing
+		// it lands there; a node the artifact cannot reach is excluded for
+		// the round.
+		if h := j.Spec.Mesh.Hash; h != "" {
+			if err := c.ensureArtifact(n, h); err != nil {
+				c.cfg.Log.Printf("job %s: mesh artifact for %s: %v", j.ID, n.name, err)
+				exclude[n.name] = true
+				c.met.Retries.Add(1)
+				if tk := c.trc.jobTrack(j.ID); tk != nil {
+					tk.Instant(c.trc.phRetry, time.Now(), int64(attempt))
+				}
+				if !c.sleep(c.bo.DelayAfter(attempt, 0)) {
+					return nil, errors.New("cluster: coordinator closed")
+				}
+				continue
+			}
+		}
 		sr := submitRequest{JobSpec: j.Spec, ID: j.ID}
 		j.mu.Lock()
-		if len(j.ckpt) > 0 {
-			sr.Resume = encodeCheckpoint(j.ckpt)
-		}
+		ckpt, ckptHash := j.ckpt, j.ckptHash
 		j.mu.Unlock()
+		// Hand checkpoints over by reference when possible: push the blob
+		// into the node's store and send only its hash. The inline base64
+		// copy remains the fallback for nodes the artifact cannot reach.
+		if ckptHash != "" && c.ensureArtifact(n, ckptHash) == nil {
+			sr.ResumeHash = ckptHash
+		} else if len(ckpt) > 0 {
+			sr.Resume = encodeCheckpoint(ckpt)
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
 		view, code, after, err := n.client.submit(ctx, sr)
 		cancel()
@@ -642,6 +829,8 @@ func (c *Coordinator) place(j *cjob) (*node, error) {
 			exclude[n.name] = true // full queue: steal to a peer this round
 		case code == http.StatusServiceUnavailable:
 			exclude[n.name] = true // draining or refusing: go elsewhere
+		case code == http.StatusPreconditionFailed:
+			exclude[n.name] = true // artifact vanished between push and submit
 		case code >= 400 && code < 500:
 			return nil, fmt.Errorf("cluster: node %s rejected job: %w", n.name, err)
 		}
@@ -720,6 +909,11 @@ func (c *Coordinator) pullCheckpoint(j *cjob, n *node) {
 	if ck.Cycle > j.ckptCycle {
 		j.ckpt = raw
 		j.ckptCycle = ck.Cycle
+		// Content-address the snapshot so a handoff can move it by hash;
+		// if the cache later evicts it, the inline bytes still dispatch.
+		if hash, err := c.store.Put(raw); err == nil {
+			j.ckptHash = hash
+		}
 		c.met.CkptPulls.Add(1)
 		if tk := c.trc.jobTrack(j.ID); tk != nil {
 			tk.Instant(c.trc.phCkpt, time.Now(), int64(ck.Cycle))

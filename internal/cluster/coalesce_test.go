@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"eul3d/internal/meshgen"
+	"eul3d/internal/meshio"
+	"eul3d/internal/serve"
+	"eul3d/internal/store"
+)
+
+func submitCluster(t *testing.T, c *Coordinator, spec serve.JobSpec) *cjob {
+	t.Helper()
+	j, err := c.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func waitClusterState(t *testing.T, j *cjob, want serve.JobState) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.View().State == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("cluster job %s stuck in %s, want %s", j.ID, j.View().State, want)
+}
+
+// Identical concurrent submissions to the coordinator dispatch exactly one
+// run to the fleet; every submission receives the same bitwise result.
+func TestClusterCoalesceDedup(t *testing.T) {
+	n := startNode(t, serve.Config{Runners: 1})
+	c := New(fastCfg())
+	defer c.Close()
+	if err := c.AddNode("n1", n.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	waitRoutable(t, c, 1)
+
+	spec := clusterSpec(5, 4000)
+	leader := submitCluster(t, c, spec)
+	waiters := make([]*cjob, 3)
+	for i := range waiters {
+		waiters[i] = submitCluster(t, c, spec)
+		if got := waiters[i].View().CoalescedWith; got != leader.ID {
+			t.Fatalf("waiter %d coalesced with %q, want %q", i, got, leader.ID)
+		}
+	}
+
+	lv := waitClusterDone(t, leader)
+	if lv.State != serve.StateCompleted {
+		t.Fatalf("leader ended %s: %s", lv.State, lv.Error)
+	}
+	for i, w := range waiters {
+		v := waitClusterDone(t, w)
+		if v.State != serve.StateCompleted {
+			t.Fatalf("waiter %d ended %s: %s", i, v.State, v.Error)
+		}
+		if v.CoalescedWith != leader.ID || v.ID == leader.ID {
+			t.Errorf("waiter %d lost its identity: id %s coalesced_with %q", i, v.ID, v.CoalescedWith)
+		}
+		if len(v.History) != len(lv.History) {
+			t.Fatalf("waiter %d history %d cycles, leader %d", i, len(v.History), len(lv.History))
+		}
+		for cyc := range v.History {
+			if v.History[cyc] != lv.History[cyc] {
+				t.Fatalf("waiter %d history diverges at cycle %d", i, cyc)
+			}
+		}
+	}
+
+	// The node saw exactly one submission: the duplicates never left the
+	// coordinator.
+	if got := n.sched.Metrics().Submitted.Load(); got != 1 {
+		t.Errorf("node admitted %d jobs, want 1", got)
+	}
+	m := c.Metrics()
+	if got := m.CoalesceAttach.Load(); got != 3 {
+		t.Errorf("coalesce attaches %d, want 3", got)
+	}
+	if got := m.CoalesceFanout.Load(); got != 3 {
+		t.Errorf("coalesce fanouts %d, want 3", got)
+	}
+	if got := m.Completed.Load(); got != 1 {
+		t.Errorf("completed %d, want 1 (waiters are fanouts, not runs)", got)
+	}
+
+	// The flight is retired with the run: a late identical submission
+	// starts fresh instead of attaching to the finished job.
+	late := submitCluster(t, c, spec)
+	if got := late.View().CoalescedWith; got != "" {
+		t.Fatalf("late submission coalesced with finished job %q", got)
+	}
+	waitClusterDone(t, late)
+}
+
+// Party-counted cancellation at the coordinator: one waiter (or the
+// original submitter) leaving keeps the run alive; the last party out
+// cancels it on its node.
+func TestClusterCoalesceCancelParties(t *testing.T) {
+	n := startNode(t, serve.Config{Runners: 1})
+	c := New(fastCfg())
+	defer c.Close()
+	if err := c.AddNode("n1", n.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	waitRoutable(t, c, 1)
+
+	spec := clusterSpec(6, 500000)
+	leader := submitCluster(t, c, spec)
+	waitClusterState(t, leader, serve.StateRunning)
+	w1 := submitCluster(t, c, spec)
+	w2 := submitCluster(t, c, spec)
+
+	// Waiter 1 leaves: its own view is cancelled, the run is not.
+	if _, err := c.Cancel(w1.ID); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-w1.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled waiter did not detach")
+	}
+	if st := w1.View().State; st != serve.StateCancelled {
+		t.Fatalf("waiter state %s, want cancelled", st)
+	}
+
+	// The original submitter leaves: w2 still holds the run alive.
+	if _, err := c.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if st := leader.View().State; st != serve.StateRunning {
+		t.Fatalf("leader state %s after submitter cancel, want running (w2 attached)", st)
+	}
+
+	// The last party leaves: the node's run is cancelled and everyone
+	// left observes the terminal state.
+	if _, err := c.Cancel(w2.ID); err != nil {
+		t.Fatal(err)
+	}
+	lv := waitClusterDone(t, leader)
+	wv := waitClusterDone(t, w2)
+	if lv.State != serve.StateCancelled {
+		t.Fatalf("leader ended %s, want cancelled", lv.State)
+	}
+	if wv.State != serve.StateCancelled {
+		t.Fatalf("waiter 2 ended %s, want cancelled", wv.State)
+	}
+}
+
+// Artifacts flow through the coordinator by hash: a client uploads mesh
+// bytes once, solves by hash on whatever node placement picks (the
+// coordinator pushes the blob there), and artifact GETs proxy from nodes
+// that hold the bytes.
+func TestClusterArtifactFlow(t *testing.T) {
+	n1 := startNode(t, serve.Config{})
+	n2 := startNode(t, serve.Config{})
+	c := New(fastCfg())
+	defer c.Close()
+	if err := c.AddNode("n1", n1.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddNode("n2", n2.srv.URL); err != nil {
+		t.Fatal(err)
+	}
+	waitRoutable(t, c, 2)
+	api := httptest.NewServer(NewAPI(c).Handler())
+	defer api.Close()
+
+	// Upload the exact mesh clusterSpec(5, ...) would generate.
+	ms, err := meshgen.Sequence(meshgen.DefaultChannel(6, 3, 2, 5), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := meshio.EncodeMesh(ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, api.URL+"/v1/artifacts", bytes.NewReader(blob))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var put struct {
+		Hash string `json:"hash"`
+	}
+	if err := jsonDecodeBody(resp, &put); err != nil {
+		t.Fatal(err)
+	}
+	if put.Hash != store.Sum(blob) {
+		t.Fatalf("upload hash %s, want %s", put.Hash, store.Sum(blob))
+	}
+
+	// Solve by hash: placement pushes the artifact to the chosen node.
+	spec := serve.JobSpec{
+		Mesh:   serve.MeshSpec{Hash: put.Hash},
+		Mach:   0.5,
+		Engine: serve.KindSingle,
+		Cycles: 50,
+	}
+	hj := submitCluster(t, c, spec)
+	hv := waitClusterDone(t, hj)
+	if hv.State != serve.StateCompleted {
+		t.Fatalf("solve-by-hash ended %s: %s", hv.State, hv.Error)
+	}
+	if c.Metrics().ArtifactPushes.Load() < 1 {
+		t.Error("placement did not push the mesh artifact to a node")
+	}
+
+	// Bitwise equality with the generator-spec run of the same mesh.
+	dj := submitCluster(t, c, clusterSpec(5, 50))
+	dv := waitClusterDone(t, dj)
+	if dv.State != serve.StateCompleted {
+		t.Fatalf("generator run ended %s: %s", dv.State, dv.Error)
+	}
+	if len(hv.History) != len(dv.History) {
+		t.Fatalf("history %d vs %d cycles", len(hv.History), len(dv.History))
+	}
+	for cyc := range hv.History {
+		if hv.History[cyc] != dv.History[cyc] {
+			t.Fatalf("hash and generator runs diverge at cycle %d", cyc)
+		}
+	}
+
+	// Proxy path: bytes that live only on a node are served through the
+	// coordinator (and cached there).
+	other := []byte("checkpoint-sized payload that lives on node 1 only")
+	oreq, _ := http.NewRequest(http.MethodPut, n1.srv.URL+"/v1/artifacts", bytes.NewReader(other))
+	oresp, err := http.DefaultClient.Do(oreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oput struct {
+		Hash string `json:"hash"`
+	}
+	if err := jsonDecodeBody(oresp, &oput); err != nil {
+		t.Fatal(err)
+	}
+	gresp, err := http.Get(api.URL + "/v1/artifacts/" + oput.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(gresp.Body)
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusOK || !bytes.Equal(got, other) {
+		t.Fatalf("proxied GET: status %d, %d bytes", gresp.StatusCode, len(got))
+	}
+	if c.Metrics().ArtifactProxies.Load() < 1 {
+		t.Error("coordinator served node-held bytes without counting a proxy")
+	}
+
+	// A hash nobody holds is a 404 through the API.
+	absent := store.Sum([]byte("never uploaded"))
+	aresp, err := http.Get(api.URL + "/v1/artifacts/" + absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("absent artifact status %d, want 404", aresp.StatusCode)
+	}
+}
+
+func jsonDecodeBody(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}

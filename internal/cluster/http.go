@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
 
 	"eul3d/internal/serve"
+	"eul3d/internal/store"
 )
 
 // API is the HTTP facade over a Coordinator:
@@ -17,6 +19,8 @@ import (
 //	POST   /v1/solve             submit a JobSpec; ?wait=1 (or "wait":true) blocks
 //	GET    /v1/jobs/{id}         cluster job view (node, handoffs, checkpoint cycle)
 //	DELETE /v1/jobs/{id}         cooperative cancellation (forwarded)
+//	PUT    /v1/artifacts         upload bytes once; returns {"hash": ...}
+//	GET    /v1/artifacts/{hash}  fetch an artifact (proxied from a node on a local miss)
 //	GET    /v1/nodes             node registry with health states
 //	POST   /v1/nodes             register a node: {"name":..., "url":...}
 //	POST   /v1/nodes/{name}/drain  operator drain: stop routing, hand off
@@ -36,6 +40,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", a.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancelJob)
+	mux.HandleFunc("PUT /v1/artifacts", a.handleArtifactPut)
+	mux.HandleFunc("GET /v1/artifacts/{hash}", a.handleArtifactGet)
 	mux.HandleFunc("GET /v1/nodes", a.handleGetNodes)
 	mux.HandleFunc("POST /v1/nodes", a.handleAddNode)
 	mux.HandleFunc("POST /v1/nodes/{name}/drain", a.handleDrainNode)
@@ -112,6 +118,48 @@ func (a *API) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.View())
 }
 
+// handleArtifactPut stores uploaded bytes in the coordinator's cache and
+// answers with their content hash; placement pushes them to whichever
+// node a referencing job lands on ("upload once, solve everywhere").
+func (a *API) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, store.MaxBlobSize))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	hash, err := a.c.store.Put(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	a.c.met.ArtifactUploads.Add(1)
+	writeJSON(w, http.StatusCreated, map[string]any{"hash": hash, "bytes": len(data)})
+}
+
+// handleArtifactGet serves an artifact from the coordinator's cache,
+// proxying from a live node on a local miss (GET patterns match HEAD too).
+func (a *API) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !store.ValidHash(hash) {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("malformed artifact hash %q", hash))
+		return
+	}
+	data, err := a.c.store.Get(hash)
+	if err != nil {
+		if data = a.c.proxyArtifact(hash, ""); data == nil {
+			writeErr(w, http.StatusNotFound, fmt.Errorf("artifact %s not found", hash[:12]))
+			return
+		}
+	}
+	w.Header().Set("ETag", `"`+hash+`"`)
+	w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(data)
+}
+
 func (a *API) handleGetNodes(w http.ResponseWriter, r *http.Request) {
 	views := a.c.NodeViews()
 	sort.Slice(views, func(i, k int) bool { return views[i].Name < views[k].Name })
@@ -173,6 +221,17 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("eul3dc_sheds_total", m.Sheds.Load(), "submissions shed in degraded mode")
 	counter("eul3dc_checkpoint_pulls_total", m.CkptPulls.Load(), "checkpoints pulled off running nodes")
 	counter("eul3dc_beat_misses_total", m.BeatMisses.Load(), "failed liveness probes")
+	counter("eul3dc_coalesce_attach_total", m.CoalesceAttach.Load(), "submissions attached to an identical in-flight job")
+	counter("eul3dc_coalesce_fanout_total", m.CoalesceFanout.Load(), "mirrored results delivered to attached submissions")
+	counter("eul3dc_artifact_uploads_total", m.ArtifactUploads.Load(), "artifacts uploaded to the coordinator")
+	counter("eul3dc_artifact_pushes_total", m.ArtifactPushes.Load(), "artifacts pushed to nodes at placement")
+	counter("eul3dc_artifact_proxies_total", m.ArtifactProxies.Load(), "artifacts proxied between nodes")
+
+	st := a.c.Store().Stats()
+	counter("eul3dc_artifact_hits_total", st.Hits, "artifact cache hits")
+	counter("eul3dc_artifact_misses_total", st.Misses, "artifact cache misses")
+	fmt.Fprintf(&b, "# HELP eul3dc_artifact_count artifacts in the coordinator cache\n# TYPE eul3dc_artifact_count gauge\neul3dc_artifact_count %d\n", a.c.Store().Len())
+	fmt.Fprintf(&b, "# HELP eul3dc_artifact_mem_bytes bytes held in the coordinator cache\n# TYPE eul3dc_artifact_mem_bytes gauge\neul3dc_artifact_mem_bytes %d\n", a.c.Store().MemBytes())
 
 	views := a.c.NodeViews()
 	sort.Slice(views, func(i, k int) bool { return views[i].Name < views[k].Name })

@@ -18,4 +18,11 @@ type Metrics struct {
 	Sheds      atomic.Int64 // submissions refused with Retry-After (no routable node)
 	CkptPulls  atomic.Int64 // checkpoint snapshots pulled off running nodes
 	BeatMisses atomic.Int64 // failed liveness probes across all nodes
+
+	CoalesceAttach atomic.Int64 // submissions attached to an identical in-flight job
+	CoalesceFanout atomic.Int64 // mirrored results delivered to attached submissions
+
+	ArtifactUploads atomic.Int64 // artifacts PUT to the coordinator by clients
+	ArtifactPushes  atomic.Int64 // artifacts pushed to nodes at placement time
+	ArtifactProxies atomic.Int64 // artifacts fetched from one node on behalf of another
 }

@@ -29,6 +29,8 @@ type clusterTrace struct {
 	phCkpt     trace.PhaseID // checkpoint pulled (instant; arg = cycle)
 	phShed     trace.PhaseID // submission shed, no routable node (instant)
 	phDone     trace.PhaseID // job reached a terminal state (instant; arg = cycles)
+	phAttach   trace.PhaseID // submission coalesced onto an in-flight job (instant; arg = parties)
+	phFanout   trace.PhaseID // mirrored result delivered to a waiter (instant; arg = cycles)
 }
 
 func newClusterTrace(tr *trace.Tracer) *clusterTrace {
@@ -46,6 +48,8 @@ func newClusterTrace(tr *trace.Tracer) *clusterTrace {
 		phCkpt:     tr.Phase("checkpoint-pull"),
 		phShed:     tr.Phase("shed"),
 		phDone:     tr.Phase("job-done"),
+		phAttach:   tr.Phase("coalesce-attach"),
+		phFanout:   tr.Phase("coalesce-fanout"),
 	}
 }
 

@@ -8,6 +8,7 @@ package meshio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -292,4 +293,49 @@ func expectMagic(r io.Reader, magic string) error {
 		return fmt.Errorf("meshio: bad magic %q, want %q", buf, magic)
 	}
 	return nil
+}
+
+// --- byte-level helpers ----------------------------------------------------
+//
+// The content-addressed artifact store (internal/store) traffics in raw
+// payload bytes: a mesh artifact is the WriteMesh wire format, a solve
+// result the WriteSolution format, a checkpoint the WriteCheckpoint
+// format. These helpers bridge between those formats and []byte without
+// touching the filesystem.
+
+// EncodeMesh serializes a mesh to its wire-format bytes.
+func EncodeMesh(m *mesh.Mesh) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteMesh(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMesh deserializes wire-format mesh bytes (finishing the mesh).
+func DecodeMesh(b []byte) (*mesh.Mesh, error) {
+	return ReadMesh(bytes.NewReader(b))
+}
+
+// EncodeSolution serializes a solution to its wire-format bytes.
+func EncodeSolution(mach, alphaDeg float64, sol []euler.State) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteSolution(&buf, mach, alphaDeg, sol); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeCheckpoint serializes a checkpoint to its wire-format bytes.
+func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteCheckpoint(&buf, ck); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint deserializes (and CRC-validates) checkpoint bytes.
+func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
+	return ReadCheckpoint(bytes.NewReader(b))
 }

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"eul3d/internal/meshgen"
+	"eul3d/internal/meshio"
+	"eul3d/internal/store"
+)
+
+func jsonDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	defer resp.Body.Close()
+	return io.ReadAll(resp.Body)
+}
+
+// waitViewDone polls the HTTP view until the job leaves the live states.
+func waitViewDone(t *testing.T, srv *httptest.Server, id string) JobView {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, srv, id)
+		switch v.State {
+		case StateQueued, StateRunning, StateCoalesced:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			return v
+		}
+	}
+	t.Fatalf("job %s did not finish", id)
+	return JobView{}
+}
+
+// The upload-once path over HTTP: PUT mesh bytes, solve by hash, and get
+// the identical result a generated-mesh job produces — plus conditional
+// GET via the result-hash ETag, and 412 for a hash nobody uploaded.
+func TestArtifactHTTP(t *testing.T) {
+	_, srv := newTestServer(t, Config{QueueCap: 4, Runners: 1, WorkerBudget: 4})
+
+	// Encode the exact mesh the generator path would build for smallJob.
+	ms, err := meshgen.Sequence(meshgen.DefaultChannel(4, 2, 2, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := meshio.EncodeMesh(ms[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Upload it.
+	req, _ := http.NewRequest(http.MethodPut, srv.URL+"/v1/artifacts", bytes.NewReader(blob))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var put struct {
+		Hash  string `json:"hash"`
+		Bytes int    `json:"bytes"`
+	}
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT artifact status %d, want 201", resp.StatusCode)
+	}
+	if err := jsonDecode(resp, &put); err != nil {
+		t.Fatal(err)
+	}
+	if put.Hash != store.Sum(blob) || put.Bytes != len(blob) {
+		t.Fatalf("PUT artifact returned %+v, want hash %s (%d bytes)", put, store.Sum(blob), len(blob))
+	}
+
+	// HEAD and GET it back.
+	hresp, err := http.Head(srv.URL + "/v1/artifacts/" + put.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("HEAD artifact status %d, want 200", hresp.StatusCode)
+	}
+	gresp, err := http.Get(srv.URL + "/v1/artifacts/" + put.Hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := readAll(gresp)
+	if gresp.StatusCode != http.StatusOK || !bytes.Equal(got, blob) {
+		t.Fatalf("GET artifact: status %d, %d bytes, want 200 with the uploaded %d bytes",
+			gresp.StatusCode, len(got), len(blob))
+	}
+
+	// Solve by hash and by generator dims: bitwise-identical histories.
+	_, byDims := postJob(t, srv, smallJob+``)
+	waitViewDone(t, srv, byDims.ID)
+	_, byHash := postJob(t, srv,
+		`{"mesh":{"hash":"`+put.Hash+`"},"mach":0.5,"engine":"single","cycles":10,"wait":true}`)
+	if byHash.State != StateCompleted {
+		t.Fatalf("solve-by-hash state %s err %q, want completed", byHash.State, byHash.Error)
+	}
+	dims := getJob(t, srv, byDims.ID)
+	if len(byHash.History) != len(dims.History) {
+		t.Fatalf("history length %d (hash) vs %d (dims)", len(byHash.History), len(dims.History))
+	}
+	for c := range byHash.History {
+		if byHash.History[c] != dims.History[c] {
+			t.Fatalf("histories diverge at cycle %d: %v != %v", c, byHash.History[c], dims.History[c])
+		}
+	}
+	if byHash.ResultHash == "" || byHash.ResultHash != dims.ResultHash {
+		t.Fatalf("result hashes differ: %q (hash) vs %q (dims)", byHash.ResultHash, dims.ResultHash)
+	}
+
+	// Conditional GET: the ETag is the result hash; If-None-Match => 304.
+	jreq, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+byHash.ID, nil)
+	jresp, err := http.DefaultClient.Do(jreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jresp.Body.Close()
+	etag := jresp.Header.Get("ETag")
+	if etag != `"`+byHash.ResultHash+`"` {
+		t.Fatalf("ETag %q, want quoted result hash %q", etag, byHash.ResultHash)
+	}
+	jreq2, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/jobs/"+byHash.ID, nil)
+	jreq2.Header.Set("If-None-Match", etag)
+	jresp2, err := http.DefaultClient.Do(jreq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jresp2.Body.Close()
+	if jresp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional GET status %d, want 304", jresp2.StatusCode)
+	}
+
+	// A hash nobody uploaded: 412 tells the caller to upload first, and
+	// artifact GET/HEAD are plain 404s.
+	absent := strings.Repeat("ab", 32)
+	if resp, _ := postJob(t, srv,
+		`{"mesh":{"hash":"`+absent+`"},"mach":0.5,"engine":"single","cycles":10}`); resp.StatusCode != http.StatusPreconditionFailed {
+		t.Fatalf("solve with absent hash status %d, want 412", resp.StatusCode)
+	}
+	aresp, err := http.Get(srv.URL + "/v1/artifacts/" + absent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aresp.Body.Close()
+	if aresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET absent artifact status %d, want 404", aresp.StatusCode)
+	}
+
+	// A malformed hash in the spec is a 400, not a 412.
+	if resp, _ := postJob(t, srv,
+		`{"mesh":{"hash":"zz"},"mach":0.5,"cycles":10}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed hash status %d, want 400", resp.StatusCode)
+	}
+}

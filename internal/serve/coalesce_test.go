@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// submitOne submits and fails the test on error.
+func submitOne(t *testing.T, s *Scheduler, spec JobSpec) *Job {
+	t.Helper()
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// Identical concurrent submissions coalesce onto one engine run, and every
+// party receives the same bitwise-identical result.
+func TestCoalesceIdenticalJobs(t *testing.T) {
+	s := NewScheduler(Config{QueueCap: 2, Runners: 1, WorkerBudget: 4})
+	defer s.Stop()
+
+	// Occupy the single runner so the leader stays queued (and therefore
+	// attachable) while the waiters arrive.
+	blocker := submitOne(t, s, chanSpec(6, 3, 2, 7, KindSM, 2, 200000))
+	waitState(t, blocker, StateRunning)
+
+	spec := chanSpec(4, 2, 2, 1, KindSingle, 0, 25)
+	leader := submitOne(t, s, spec)
+	waiters := make([]*Job, 4)
+	for i := range waiters {
+		waiters[i] = submitOne(t, s, spec)
+	}
+	// Four waiters on a QueueCap-2 queue holding one job: attaching
+	// bypasses the admission bound.
+	if got := s.QueueDepth(); got != 1 {
+		t.Fatalf("queue depth %d, want 1 (waiters must not occupy slots)", got)
+	}
+	for _, w := range waiters {
+		v := w.View()
+		if v.State != StateCoalesced {
+			t.Fatalf("waiter %s state %s, want coalesced", w.ID, v.State)
+		}
+		if v.CoalescedWith != leader.ID {
+			t.Fatalf("waiter %s coalesced with %q, want %q", w.ID, v.CoalescedWith, leader.ID)
+		}
+	}
+
+	if _, err := s.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader)
+	for _, w := range waiters {
+		waitDone(t, w)
+	}
+
+	lv := leader.View()
+	if lv.State != StateCompleted {
+		t.Fatalf("leader state %s err %q, want completed", lv.State, lv.Error)
+	}
+	if lv.ResultHash == "" {
+		t.Fatal("leader has no result hash")
+	}
+	for _, w := range waiters {
+		v := w.View()
+		if v.State != StateCompleted {
+			t.Errorf("waiter %s state %s err %q, want completed", w.ID, v.State, v.Error)
+		}
+		if v.ResultHash != lv.ResultHash {
+			t.Errorf("waiter %s result hash %q, want %q", w.ID, v.ResultHash, lv.ResultHash)
+		}
+		if v.CoalescedWith != leader.ID {
+			t.Errorf("waiter %s lost its coalesced_with marker", w.ID)
+		}
+		if len(v.History) != len(lv.History) {
+			t.Fatalf("waiter %s history %d cycles, leader %d", w.ID, len(v.History), len(lv.History))
+		}
+		for c := range v.History {
+			if v.History[c] != lv.History[c] {
+				t.Fatalf("waiter %s history diverges at cycle %d: %v != %v",
+					w.ID, c, v.History[c], lv.History[c])
+			}
+		}
+	}
+
+	m := s.Metrics()
+	if got := m.Completed.Load(); got != 1 {
+		t.Errorf("completed %d engine runs, want exactly 1", got)
+	}
+	if got := m.CoalesceAttach.Load(); got != 4 {
+		t.Errorf("coalesce attaches %d, want 4", got)
+	}
+	if got := m.CoalesceFanout.Load(); got != 4 {
+		t.Errorf("coalesce fanouts %d, want 4", got)
+	}
+	// The result landed in the artifact store under its content hash.
+	if _, err := s.Store().Get(lv.ResultHash); err != nil {
+		t.Errorf("result artifact %s not in store: %v", lv.ResultHash, err)
+	}
+}
+
+// Cancelling one waiter detaches only that waiter; the shared run and the
+// remaining parties are untouched.
+func TestCoalesceWaiterCancelKeepsRun(t *testing.T) {
+	s := NewScheduler(Config{QueueCap: 4, Runners: 1, WorkerBudget: 4})
+	defer s.Stop()
+
+	spec := chanSpec(6, 3, 2, 1, KindSM, 2, 200000)
+	leader := submitOne(t, s, spec)
+	waitState(t, leader, StateRunning)
+	waiter := submitOne(t, s, spec)
+	if st := waiter.View().State; st != StateCoalesced {
+		t.Fatalf("waiter state %s, want coalesced", st)
+	}
+
+	if _, err := s.Cancel(waiter.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, waiter)
+	if st := waiter.State(); st != StateCancelled {
+		t.Fatalf("waiter state %s, want cancelled", st)
+	}
+
+	// The run survives its waiter's departure: still running, still
+	// making progress.
+	if st := leader.State(); st != StateRunning {
+		t.Fatalf("leader state %s after waiter cancel, want running", st)
+	}
+	c := leader.View().Cycles
+	waitCycles(t, leader, c+5)
+
+	// The leader was the last remaining party: its cancel ends the run.
+	if _, err := s.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader)
+	if st := leader.State(); st != StateCancelled {
+		t.Fatalf("leader state %s, want cancelled", st)
+	}
+}
+
+// The run is cancelled only when the last interested party leaves —
+// including the case where the leader's own client leaves first.
+func TestCoalesceAllCancelCancelsRun(t *testing.T) {
+	s := NewScheduler(Config{QueueCap: 4, Runners: 1, WorkerBudget: 4})
+	defer s.Stop()
+
+	spec := chanSpec(6, 3, 2, 1, KindSM, 2, 200000)
+	leader := submitOne(t, s, spec)
+	waitState(t, leader, StateRunning)
+	w1 := submitOne(t, s, spec)
+	w2 := submitOne(t, s, spec)
+
+	// First waiter leaves: two parties remain.
+	if _, err := s.Cancel(w1.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, w1)
+
+	// The leader's client leaves: w2 still holds the run alive.
+	if _, err := s.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if st := leader.State(); st != StateRunning {
+		t.Fatalf("leader state %s after leader-party cancel, want running (w2 still attached)", st)
+	}
+	c := leader.View().Cycles
+	waitCycles(t, leader, c+5)
+
+	// A second leader cancel is idempotent: it must not count as another
+	// party leaving.
+	if _, err := s.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if st := leader.State(); st != StateRunning {
+		t.Fatalf("leader state %s after repeated leader cancel, want running", st)
+	}
+
+	// The last party leaves: now the run dies.
+	if _, err := s.Cancel(w2.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader)
+	waitDone(t, w2)
+	if st := leader.State(); st != StateCancelled {
+		t.Fatalf("leader state %s, want cancelled", st)
+	}
+	if st := w2.State(); st != StateCancelled {
+		t.Fatalf("waiter state %s, want cancelled", st)
+	}
+}
+
+// A waiter with its own deadline detaches on expiry without disturbing
+// the shared run.
+func TestCoalesceDeadlineWaiterDetaches(t *testing.T) {
+	s := NewScheduler(Config{QueueCap: 4, Runners: 1, WorkerBudget: 4})
+	defer s.Stop()
+
+	spec := chanSpec(6, 3, 2, 1, KindSM, 2, 200000)
+	leader := submitOne(t, s, spec)
+	waitState(t, leader, StateRunning)
+
+	wspec := spec
+	wspec.DeadlineMS = 50
+	waiter := submitOne(t, s, wspec)
+	if st := waiter.View().State; st != StateCoalesced {
+		t.Fatalf("waiter state %s, want coalesced", st)
+	}
+	waitDone(t, waiter)
+	if st := waiter.State(); st != StateExpired {
+		t.Fatalf("waiter state %s, want expired", st)
+	}
+	if st := leader.State(); st != StateRunning {
+		t.Fatalf("leader state %s after waiter deadline, want running", st)
+	}
+
+	if _, err := s.Cancel(leader.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, leader)
+}
+
+// A finished flight is retired: a late identical submission starts a
+// fresh run instead of attaching to a corpse.
+func TestCoalesceRetiredFlightNotJoinable(t *testing.T) {
+	s := NewScheduler(Config{QueueCap: 4, Runners: 1, WorkerBudget: 4})
+	defer s.Stop()
+
+	spec := chanSpec(4, 2, 2, 1, KindSingle, 0, 10)
+	first := submitOne(t, s, spec)
+	waitDone(t, first)
+
+	second := submitOne(t, s, spec)
+	waitDone(t, second)
+	v := second.View()
+	if v.State != StateCompleted {
+		t.Fatalf("second run state %s err %q, want completed", v.State, v.Error)
+	}
+	if v.CoalescedWith != "" {
+		t.Fatalf("second run coalesced with finished job %q", v.CoalescedWith)
+	}
+	if got := s.Metrics().Completed.Load(); got != 2 {
+		t.Errorf("completed %d runs, want 2 (no attach to a retired flight)", got)
+	}
+}

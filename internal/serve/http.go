@@ -15,16 +15,22 @@ import (
 
 	"eul3d/internal/meshio"
 	"eul3d/internal/perf"
+	"eul3d/internal/store"
 )
 
 // API is the HTTP facade over a Scheduler:
 //
 //	POST   /v1/solve     submit a JobSpec; ?wait=1 (or "wait":true) blocks;
-//	                     "id" and "resume" (base64 checkpoint) hand off an
+//	                     "id" and "resume" (base64 checkpoint) or
+//	                     "resume_hash" (store reference) hand off an
 //	                     interrupted job from another node
-//	GET    /v1/jobs/{id} job status + residual history so far
+//	GET    /v1/jobs/{id} job status + residual history so far; the
+//	                     completed result's content hash is the ETag and
+//	                     If-None-Match answers 304
 //	DELETE /v1/jobs/{id} cooperative cancellation
 //	GET    /v1/jobs/{id}/checkpoint  latest periodic checkpoint (binary)
+//	PUT    /v1/artifacts        upload bytes to the artifact store -> hash
+//	GET    /v1/artifacts/{hash} fetch an artifact (HEAD probes existence)
 //	GET    /healthz      liveness: 200 while the process serves requests
 //	GET    /readyz       readiness: 503 while draining or saturated
 //	GET    /metrics      Prometheus-style text metrics
@@ -43,6 +49,8 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}", a.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", a.handleCancelJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/checkpoint", a.handleJobCheckpoint)
+	mux.HandleFunc("PUT /v1/artifacts", a.handleArtifactPut)
+	mux.HandleFunc("GET /v1/artifacts/{hash}", a.handleArtifactGet)
 	mux.HandleFunc("GET /healthz", a.handleHealthz)
 	mux.HandleFunc("GET /readyz", a.handleReadyz)
 	mux.HandleFunc("GET /metrics", a.handleMetrics)
@@ -61,13 +69,17 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 }
 
 // solveRequest is a JobSpec plus the synchronous-wait flag and the cluster
-// handoff fields: ID pins the job's identity across nodes and Resume is a
-// base64 meshio checkpoint the run warm-starts from.
+// handoff fields: ID pins the job's identity across nodes and the run
+// warm-starts from either Resume (an inline base64 meshio checkpoint) or
+// ResumeHash (a reference to checkpoint bytes already in this node's
+// artifact store — the coordinator pushes the blob once, then hands off
+// by hash).
 type solveRequest struct {
 	JobSpec
-	Wait   bool   `json:"wait,omitempty"`
-	ID     string `json:"id,omitempty"`
-	Resume string `json:"resume,omitempty"`
+	Wait       bool   `json:"wait,omitempty"`
+	ID         string `json:"id,omitempty"`
+	Resume     string `json:"resume,omitempty"`
+	ResumeHash string `json:"resume_hash,omitempty"`
 }
 
 func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -82,7 +94,8 @@ func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
 		req.Wait = true
 	}
 	var ck *meshio.Checkpoint
-	if req.Resume != "" {
+	switch {
+	case req.Resume != "":
 		raw, err := base64.StdEncoding.DecodeString(req.Resume)
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("decoding resume checkpoint: %w", err))
@@ -94,6 +107,19 @@ func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
 		ck, err = meshio.ReadCheckpoint(bytes.NewReader(raw))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing resume checkpoint: %w", err))
+			return
+		}
+	case req.ResumeHash != "":
+		raw, err := a.s.Store().Get(req.ResumeHash)
+		if err != nil {
+			// The referenced blob must be pushed before the handoff; 412
+			// tells the coordinator to fall back to inline bytes.
+			writeErr(w, http.StatusPreconditionFailed, fmt.Errorf("resume checkpoint artifact: %w", err))
+			return
+		}
+		ck, err = meshio.DecodeCheckpoint(raw)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("parsing resume checkpoint artifact: %w", err))
 			return
 		}
 	}
@@ -112,6 +138,9 @@ func (a *API) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrDraining):
 		w.Header().Set("Retry-After", strconv.Itoa(a.s.RetryAfterHint()))
 		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	case errors.Is(err, ErrNoArtifact):
+		writeErr(w, http.StatusPreconditionFailed, err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusBadRequest, err)
@@ -136,7 +165,35 @@ func (a *API) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.View())
+	v := j.View()
+	if v.ResultHash != "" {
+		// The result's content hash is a perfect validator: polling
+		// clients and the cluster's result fan-out revalidate with
+		// If-None-Match and skip the body (history included) on a match.
+		etag := `"` + v.ResultHash + `"`
+		w.Header().Set("ETag", etag)
+		if inm := r.Header.Get("If-None-Match"); inm != "" && etagMatch(inm, etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// etagMatch implements the If-None-Match comparison: a wildcard or any
+// listed entity tag equal to ours (weak prefixes tolerated).
+func etagMatch(header, etag string) bool {
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == etag {
+			return true
+		}
+	}
+	return false
 }
 
 func (a *API) handleCancelJob(w http.ResponseWriter, r *http.Request) {
@@ -221,6 +278,48 @@ func (a *API) handleJobCheckpoint(w http.ResponseWriter, r *http.Request) {
 	io.Copy(w, f)
 }
 
+// handleArtifactPut uploads bytes into the content-addressed store and
+// returns their hash. Idempotent by construction: re-uploading the same
+// bytes lands on the same key.
+func (a *API) handleArtifactPut(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, store.MaxBlobSize))
+	if err != nil {
+		writeErr(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading artifact: %w", err))
+		return
+	}
+	hash, err := a.s.Store().Put(data)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"hash": hash, "bytes": len(data)})
+}
+
+// handleArtifactGet serves artifact bytes (GET) or probes existence
+// (HEAD — Go's mux routes HEAD through GET patterns).
+func (a *API) handleArtifactGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	st := a.s.Store()
+	if r.Method == http.MethodHead {
+		n, err := st.Size(hash)
+		if err != nil {
+			w.WriteHeader(http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+		w.WriteHeader(http.StatusOK)
+		return
+	}
+	data, err := st.Get(hash)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("ETag", `"`+hash+`"`)
+	w.Write(data)
+}
+
 // handleMetrics renders the service metrics in the Prometheus text
 // exposition format (hand-rolled: no client library in the module).
 func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -246,12 +345,25 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("eul3dd_jobs_expired_total", m.Expired.Load(), "jobs past their deadline")
 	counter("eul3dd_jobs_drained_total", m.Drained.Load(), "jobs checkpointed by graceful drain")
 	counter("eul3dd_jobs_resumed_total", m.Resumed.Load(), "jobs resumed from drain checkpoints")
+	counter("eul3dd_coalesce_attach_total", m.CoalesceAttach.Load(), "submissions attached as waiters to an identical live job")
+	counter("eul3dd_coalesce_fanout_total", m.CoalesceFanout.Load(), "waiter copies of a shared result delivered")
 	counter("eul3dd_engine_cache_hits_total", m.CacheHits.Load(), "engine cache hits")
 	counter("eul3dd_engine_cache_misses_total", m.CacheMisses.Load(), "engine cache misses")
 	counter("eul3dd_engine_builds_total", m.Builds.Load(), "engine constructions performed")
 	counter("eul3dd_engine_evictions_total", m.Evictions.Load(), "engines closed by LRU eviction")
 	gauge("eul3dd_engine_cache_hit_rate", fmt.Sprintf("%.4f", m.HitRate()), "cache hit fraction")
 	gauge("eul3dd_engine_cache_size", a.s.Cache().Len(), "engines resident in the cache")
+	art := a.s.Store()
+	as := art.Stats()
+	counter("eul3dd_artifact_hits_total", as.Hits, "artifact store reads served")
+	counter("eul3dd_artifact_misses_total", as.Misses, "artifact store reads missed (absent or quarantined)")
+	counter("eul3dd_artifact_puts_total", as.Puts, "distinct artifacts stored")
+	counter("eul3dd_artifact_dup_puts_total", as.DupPuts, "uploads deduplicated against existing content")
+	counter("eul3dd_artifact_evictions_total", as.Evictions, "artifact eviction actions under byte budgets")
+	counter("eul3dd_artifact_quarantines_total", as.Quarantines, "corrupt blobs quarantined")
+	gauge("eul3dd_artifact_count", art.Len(), "artifacts tracked (memory or disk)")
+	gauge("eul3dd_artifact_mem_bytes", art.MemBytes(), "resident artifact payload bytes")
+	gauge("eul3dd_artifact_disk_bytes", art.DiskBytes(), "on-disk artifact blob bytes")
 	gauge("eul3dd_worker_budget", gov.Cap(), "total pooled-worker budget")
 	gauge("eul3dd_workers_in_use", gov.InUse(), "pooled workers held by running jobs")
 	gauge("eul3dd_workers_peak", gov.Peak(), "high-water mark of pooled workers in use")

@@ -20,6 +20,9 @@ type Metrics struct {
 	Drained   atomic.Int64 // checkpointed by a graceful drain
 	Resumed   atomic.Int64 // re-enqueued from a drain checkpoint at startup
 
+	CoalesceAttach atomic.Int64 // submissions attached as waiters to an identical live job
+	CoalesceFanout atomic.Int64 // waiter copies of a shared result delivered
+
 	CacheHits   atomic.Int64 // engine served from the cache
 	CacheMisses atomic.Int64 // engine built (or waited on a shared build)
 	Builds      atomic.Int64 // engine constructions actually performed

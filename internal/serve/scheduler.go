@@ -23,6 +23,7 @@ import (
 	"eul3d/internal/meshio"
 	"eul3d/internal/scenario"
 	"eul3d/internal/solver"
+	"eul3d/internal/store"
 	"eul3d/internal/trace"
 )
 
@@ -31,6 +32,7 @@ var (
 	ErrQueueFull  = errors.New("serve: queue full")
 	ErrDraining   = errors.New("serve: draining, not accepting jobs")
 	ErrNotFound   = errors.New("serve: no such job")
+	ErrNoArtifact = errors.New("serve: mesh artifact not in store (upload it first)")
 	errClientStop = errors.New("serve: cancelled by client")
 	errDrainStop  = errors.New("serve: drained")
 )
@@ -45,7 +47,8 @@ const (
 	StateFailed    JobState = "failed"
 	StateCancelled JobState = "cancelled"
 	StateExpired   JobState = "expired"
-	StateDrained   JobState = "drained" // checkpointed by a graceful drain; resumes on restart
+	StateDrained   JobState = "drained"   // checkpointed by a graceful drain; resumes on restart
+	StateCoalesced JobState = "coalesced" // attached as a waiter to an identical in-flight job
 )
 
 // Job is one tracked solve request.
@@ -70,6 +73,11 @@ type Job struct {
 	ctx    context.Context
 	done   chan struct{} // closed when the job leaves the queue/runner for good
 	resume *meshio.Checkpoint
+
+	resultHash    string  // store key of the encoded result solution
+	flight        *flight // non-nil on a coalescing leader
+	coalescedWith string  // waiters: the leader's job ID
+	noCoalesce    bool    // handoff/recovered jobs keep their own run
 }
 
 // Done returns a channel closed when the job reaches a terminal state.
@@ -90,6 +98,15 @@ type JobView struct {
 	Engine      string    `json:"engine_key,omitempty"`
 	CacheHit    *bool     `json:"cache_hit,omitempty"`
 
+	// ResultHash is the artifact-store key of the completed result's
+	// encoded solution — the job's ETag, and a handle any peer can GET
+	// the full field from.
+	ResultHash string `json:"result_hash,omitempty"`
+
+	// CoalescedWith names the leader this job attached to as a waiter
+	// (set while coalesced and preserved in the mirrored terminal view).
+	CoalescedWith string `json:"coalesced_with,omitempty"`
+
 	// Diagnostics is present on completed scenario jobs: the preset's
 	// physics record (L1 error vs the analytic reference, field ranges).
 	Diagnostics *scenario.Diagnostics `json:"diagnostics,omitempty"`
@@ -100,12 +117,14 @@ func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
-		ID:      j.ID,
-		State:   j.state,
-		Spec:    j.Spec,
-		Cycles:  len(j.history),
-		History: append([]float64(nil), j.history...),
-		Error:   j.errMsg,
+		ID:            j.ID,
+		State:         j.state,
+		Spec:          j.Spec,
+		Cycles:        len(j.history),
+		History:       append([]float64(nil), j.history...),
+		Error:         j.errMsg,
+		ResultHash:    j.resultHash,
+		CoalescedWith: j.coalescedWith,
 	}
 	if j.keySet {
 		v.Engine = j.key.String()
@@ -174,6 +193,11 @@ type Config struct {
 	// the flight recorder, exposed over GET /debug/trace. Nil disables
 	// service-layer tracing entirely.
 	Trace *trace.Tracer
+
+	// Store is the content-addressed artifact store backing hash-named
+	// meshes, resume-by-hash checkpoints and result artifacts. Nil gets
+	// a default memory-only store.
+	Store *store.Store
 }
 
 func (c *Config) fill() {
@@ -192,6 +216,9 @@ func (c *Config) fill() {
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
 	}
+	if c.Store == nil {
+		c.Store = store.NewMemory()
+	}
 }
 
 // Scheduler multiplexes solve jobs over cached engines: bounded admission,
@@ -208,6 +235,7 @@ type Scheduler struct {
 	cond     *sync.Cond
 	queue    jobQueue
 	jobs     map[string]*Job
+	flights  map[string]*flight // SpecHash -> in-flight coalescable job
 	seq      int64
 	draining bool
 	stopped  bool
@@ -221,12 +249,13 @@ func NewScheduler(cfg Config) *Scheduler {
 	cfg.fill()
 	met := &Metrics{}
 	s := &Scheduler{
-		cfg:   cfg,
-		met:   met,
-		trc:   newSchedTrace(cfg.Trace),
-		cache: NewCache(cfg.CacheCap, met),
-		gov:   NewGovernor(cfg.WorkerBudget),
-		jobs:  make(map[string]*Job),
+		cfg:     cfg,
+		met:     met,
+		trc:     newSchedTrace(cfg.Trace),
+		cache:   NewCache(cfg.CacheCap, met),
+		gov:     NewGovernor(cfg.WorkerBudget),
+		jobs:    make(map[string]*Job),
+		flights: make(map[string]*flight),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Runners; i++ {
@@ -244,6 +273,9 @@ func (s *Scheduler) Governor() *Governor { return s.gov }
 
 // Cache returns the engine cache (for gauges and per-engine stats).
 func (s *Scheduler) Cache() *Cache { return s.cache }
+
+// Store returns the artifact store.
+func (s *Scheduler) Store() *store.Store { return s.cfg.Store }
 
 // Tracer returns the flight recorder the scheduler writes to (nil when
 // tracing is disabled).
@@ -330,14 +362,21 @@ func newJobID() string {
 }
 
 // Submit validates and admits a job. It returns ErrQueueFull when the
-// bounded queue is at capacity (the HTTP layer maps that to 429) and
-// ErrDraining once a graceful drain has begun (503).
+// bounded queue is at capacity (the HTTP layer maps that to 429),
+// ErrDraining once a graceful drain has begun (503), and ErrNoArtifact
+// for a hash-named mesh the store does not hold (412). A submission
+// whose SpecHash matches a live job attaches to it as a waiter instead
+// of occupying queue or runner capacity; the returned Job then mirrors
+// the leader's result when it lands.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if spec.pooledWorkers() > s.gov.Cap() {
 		return nil, fmt.Errorf("serve: job wants %d workers, budget is %d", spec.pooledWorkers(), s.gov.Cap())
+	}
+	if h := spec.Mesh.Hash; h != "" && !s.cfg.Store.Has(h) {
+		return nil, fmt.Errorf("%w: %s", ErrNoArtifact, h)
 	}
 	return s.admit(&Job{ID: newJobID(), Spec: spec})
 }
@@ -358,15 +397,35 @@ func (s *Scheduler) SubmitResume(id string, spec JobSpec, ck *meshio.Checkpoint)
 	if id == "" {
 		id = newJobID()
 	}
-	return s.admit(&Job{ID: id, Spec: spec, resume: ck})
+	if h := spec.Mesh.Hash; h != "" && !s.cfg.Store.Has(h) {
+		return nil, fmt.Errorf("%w: %s", ErrNoArtifact, h)
+	}
+	// Handoff jobs carry a pinned identity (and possibly mid-run state);
+	// they neither attach to another run nor accept waiters.
+	return s.admit(&Job{ID: id, Spec: spec, resume: ck, noCoalesce: true})
 }
 
-// admit enqueues a prepared job (fresh or recovered).
+// admit enqueues a prepared job (fresh or recovered), or — when an
+// identical coalescable job is already in flight — attaches it as a
+// waiter on that flight instead.
 func (s *Scheduler) admit(j *Job) (*Job, error) {
+	ckey := ""
+	if !j.noCoalesce {
+		ckey = j.Spec.SpecHash()
+	}
 	s.mu.Lock()
 	if s.draining || s.stopped {
 		s.mu.Unlock()
 		return nil, ErrDraining
+	}
+	if ckey != "" {
+		if f := s.flights[ckey]; f != nil && f.attachable() {
+			// Attaching bypasses the queue bound on purpose: a thundering
+			// herd of identical requests costs one slot however large.
+			s.attachLocked(f, j)
+			s.mu.Unlock()
+			return j, nil
+		}
 	}
 	if len(s.queue) >= s.cfg.QueueCap {
 		s.mu.Unlock()
@@ -399,6 +458,11 @@ func (s *Scheduler) admit(j *Job) (*Job, error) {
 	j.seq = s.seq
 	heap.Push(&s.queue, j)
 	s.jobs[j.ID] = j
+	if ckey != "" {
+		f := &flight{key: ckey, leader: j, parties: 1}
+		j.flight = f
+		s.flights[ckey] = f
+	}
 	s.met.Submitted.Add(1)
 	s.cond.Signal()
 	s.mu.Unlock()
@@ -417,12 +481,22 @@ func (s *Scheduler) Job(id string) (*Job, error) {
 }
 
 // Cancel requests cooperative cancellation of a queued or running job.
+// On a coalesced flight, party counting applies: cancelling one caller
+// — waiter or leader — detaches only that caller, and the underlying
+// run is cancelled when its last interested party leaves.
 func (s *Scheduler) Cancel(id string) (*Job, error) {
 	j, err := s.Job(id)
 	if err != nil {
 		return nil, err
 	}
-	j.cancel(errClientStop)
+	switch {
+	case j.flight != nil:
+		j.flight.leaderCancel()
+	case j.coalescedWith != "":
+		j.cancel(errClientStop) // the waiter's watcher detaches it
+	default:
+		j.cancel(errClientStop)
+	}
 	return j, nil
 }
 
@@ -486,7 +560,16 @@ func (s *Scheduler) dispatch(j *Job) {
 		ctx = dctx
 	}
 
-	ms, err := j.Spec.BuildMeshes()
+	if h := j.Spec.Mesh.Hash; h != "" {
+		// Pin the mesh artifact while the job runs: eviction pressure
+		// must not drop the bytes an in-flight solve references.
+		if err := s.cfg.Store.Pin(h); err != nil {
+			s.finish(j, nil, fmt.Errorf("%w: %s", ErrNoArtifact, h))
+			return
+		}
+		defer s.cfg.Store.Unpin(h)
+	}
+	ms, err := j.Spec.BuildMeshesFrom(s.cfg.Store)
 	if err != nil {
 		s.finish(j, nil, err)
 		return
@@ -635,18 +718,38 @@ func divergedAt(hist []float64) (int, float64, bool) {
 	return 0, 0, false
 }
 
-// finish records a job's terminal state from its run outcome.
+// finish records a job's terminal state from its run outcome. It runs
+// before dispatch's deferred close(j.done), so by the time waiters fan
+// out the terminal state (and result hash) is in place and the flight
+// is deregistered — a Submit racing with completion either attaches
+// while the flight is live or starts a fresh run, never attaches to a
+// finished one.
 func (s *Scheduler) finish(j *Job, res *solver.Result, err error) {
+	s.retireFlight(j)
 	if errors.Is(err, errDrainStop) {
 		// Drained before any cycle ran: persist the spec alone so the job
 		// restarts from scratch after the server comes back.
 		s.suspend(j, res)
 		return
 	}
+	var resultHash string
+	if err == nil && res != nil && len(res.FineSolution) > 0 {
+		// Content-address the completed solution while the engine lease
+		// still protects res.FineSolution from reuse. The hash doubles
+		// as the job's ETag and lets peers fetch the field by reference.
+		if enc, encErr := meshio.EncodeSolution(j.Spec.Mach, j.Spec.AlphaDeg, res.FineSolution); encErr == nil {
+			if h, putErr := s.cfg.Store.Put(enc); putErr == nil {
+				resultHash = h
+			} else {
+				s.cfg.Log.Printf("job %s: storing result artifact: %v", j.ID, putErr)
+			}
+		}
+	}
 	var state JobState
 	var cycles int
 	j.mu.Lock()
 	j.result = res
+	j.resultHash = resultHash
 	switch {
 	case err == nil:
 		j.state = StateCompleted
@@ -721,6 +824,7 @@ func (s *Scheduler) removeStateFiles(id string) {
 // plus a JSON sidecar with the spec. The checkpointed solution is copied —
 // the engine is released back to the cache and would otherwise mutate it.
 func (s *Scheduler) drainCheckpoint(j *Job, st *solver.Steady, res *solver.Result) {
+	s.retireFlight(j)
 	if s.cfg.StateDir == "" {
 		s.finish(j, res, errDrainStop)
 		return
@@ -804,6 +908,7 @@ func (s *Scheduler) Drain() {
 	s.mu.Unlock()
 
 	for _, j := range queued {
+		s.retireFlight(j)
 		if s.cfg.StateDir != "" {
 			if err := s.writeSidecar(sidecar{ID: j.ID, Spec: j.Spec}); err != nil {
 				s.cfg.Log.Printf("drain: persisting queued job %s: %v", j.ID, err)
@@ -846,6 +951,7 @@ func (s *Scheduler) Stop() {
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	for _, j := range queued {
+		s.retireFlight(j)
 		j.mu.Lock()
 		j.state = StateCancelled
 		j.mu.Unlock()
@@ -889,7 +995,7 @@ func (s *Scheduler) Recover() (int, error) {
 			s.cfg.Log.Printf("recover: %s: %v", ent.Name(), err)
 			continue
 		}
-		j := &Job{ID: sc.ID, Spec: sc.Spec}
+		j := &Job{ID: sc.ID, Spec: sc.Spec, noCoalesce: true}
 		if sc.Checkpoint != "" {
 			ck, err := meshio.LoadCheckpoint(filepath.Join(s.cfg.StateDir, sc.Checkpoint))
 			if err != nil {

@@ -19,11 +19,15 @@ func TestSchedulerConcurrentMixedJobs(t *testing.T) {
 	s := NewScheduler(Config{QueueCap: 4, Runners: 2, WorkerBudget: budget, CacheCap: 3})
 	defer s.Stop()
 
-	// Two long blockers occupy both runners (and 4 = budget workers).
-	specA := chanSpec(6, 3, 2, 1, KindSM, 2, 200000)
+	// Two long blockers occupy both runners (and 4 = budget workers). They
+	// differ by one cycle so they don't coalesce into a single flight, yet
+	// still share an engine-cache key (Cycles is outside EngineKey).
 	blockers := make([]*Job, 2)
-	for i := range blockers {
-		j, err := s.Submit(specA)
+	for i, spec := range []JobSpec{
+		chanSpec(6, 3, 2, 1, KindSM, 2, 200000),
+		chanSpec(6, 3, 2, 1, KindSM, 2, 200001),
+	} {
+		j, err := s.Submit(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -35,12 +39,13 @@ func TestSchedulerConcurrentMixedJobs(t *testing.T) {
 	waitCycles(t, blockers[0], 1)
 
 	// Fill the bounded queue: two more identical-mesh jobs (cache hits once
-	// they run), one distinct shared-memory mesh (miss), one sequential
-	// single-grid job (miss, different kind).
+	// they run; one cycle apart so they queue rather than coalesce), one
+	// distinct shared-memory mesh (miss), one sequential single-grid job
+	// (miss, different kind).
 	queued := []*Job{}
 	for _, spec := range []JobSpec{
 		chanSpec(6, 3, 2, 1, KindSM, 2, 20),
-		chanSpec(6, 3, 2, 1, KindSM, 2, 20),
+		chanSpec(6, 3, 2, 1, KindSM, 2, 21),
 		chanSpec(5, 3, 2, 2, KindSM, 2, 20),
 		chanSpec(4, 2, 2, 3, KindSingle, 0, 20),
 	} {
@@ -55,7 +60,9 @@ func TestSchedulerConcurrentMixedJobs(t *testing.T) {
 	}
 
 	// Admission control: the queue is full, the next submission bounces.
-	if _, err := s.Submit(specA); !errors.Is(err, ErrQueueFull) {
+	// The probe spec matches no live job, so it cannot coalesce its way
+	// past the bound.
+	if _, err := s.Submit(chanSpec(6, 3, 2, 1, KindSM, 2, 200002)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("submit into full queue: err=%v, want ErrQueueFull", err)
 	}
 

@@ -19,6 +19,7 @@ package serve
 import (
 	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"hash"
 	"math"
@@ -28,6 +29,7 @@ import (
 	"eul3d/internal/meshgen"
 	"eul3d/internal/meshio"
 	"eul3d/internal/scenario"
+	"eul3d/internal/store"
 )
 
 // Engine kinds selectable per job.
@@ -38,18 +40,20 @@ const (
 	KindSMMG   = "smmg"   // pooled FAS multigrid
 )
 
-// MeshSpec names the mesh a job runs on: either a generated bump-channel
-// mesh (NX/NY/NZ/Seed, the repository's standard geometry) or a mesh file
+// MeshSpec names the mesh a job runs on: a generated bump-channel mesh
+// (NX/NY/NZ/Seed, the repository's standard geometry), a mesh file
 // written by cmd/meshgen (Path; Path is a per-level prefix for multigrid
-// kinds, as in eul3d -mesh-prefix). The engine cache keys on the mesh
-// *content*, not on this spec, so a generated mesh and an identical file
-// share an engine.
+// kinds, as in eul3d -mesh-prefix), or — the upload-once path — the
+// sha256 of mesh bytes previously PUT to the node's artifact store
+// (Hash). The engine cache keys on the mesh *content*, not on this
+// spec, so a generated mesh and an identical upload share an engine.
 type MeshSpec struct {
 	NX   int    `json:"nx,omitempty"`
 	NY   int    `json:"ny,omitempty"`
 	NZ   int    `json:"nz,omitempty"`
 	Seed int64  `json:"seed,omitempty"`
 	Path string `json:"path,omitempty"`
+	Hash string `json:"hash,omitempty"`
 }
 
 // JobSpec is one solve request.
@@ -146,7 +150,20 @@ func (s *JobSpec) Validate() error {
 	default:
 		s.Levels, s.Cycle = 1, ""
 	}
-	if s.Scenario == "" && s.Mesh.Path == "" {
+	if s.Mesh.Hash != "" {
+		if !store.ValidHash(s.Mesh.Hash) {
+			return fmt.Errorf("serve: malformed mesh hash %q (want 64 hex chars)", s.Mesh.Hash)
+		}
+		if s.Mesh.Path != "" || s.Mesh.NX != 0 || s.Mesh.NY != 0 || s.Mesh.NZ != 0 || s.Mesh.Seed != 0 {
+			return fmt.Errorf("serve: mesh hash is exclusive with path and generator dimensions")
+		}
+		if s.Levels != 1 {
+			// A hash names exactly one mesh artifact; the multigrid kinds
+			// need a coarsening sequence the store does not hold.
+			return fmt.Errorf("serve: mesh hash requires a single-grid engine (single or sm)")
+		}
+	}
+	if s.Scenario == "" && s.Mesh.Path == "" && s.Mesh.Hash == "" {
 		if s.Mesh.NX < 1 || s.Mesh.NY < 1 || s.Mesh.NZ < 1 {
 			return fmt.Errorf("serve: mesh dimensions %dx%dx%d must be positive", s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ)
 		}
@@ -228,6 +245,42 @@ func (s *JobSpec) BuildMeshes() ([]*mesh.Mesh, error) {
 	}
 	spec := meshgen.DefaultChannel(s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ, s.Mesh.Seed)
 	return meshgen.Sequence(spec, s.Levels)
+}
+
+// BuildMeshesFrom is BuildMeshes with an artifact store for hash-named
+// meshes: the bytes uploaded under Mesh.Hash are decoded as the meshio
+// wire format. The caller is expected to hold a Pin on the hash.
+func (s *JobSpec) BuildMeshesFrom(art *store.Store) ([]*mesh.Mesh, error) {
+	if s.Mesh.Hash == "" {
+		return s.BuildMeshes()
+	}
+	if art == nil {
+		return nil, fmt.Errorf("serve: mesh hash %s needs an artifact store", s.Mesh.Hash[:12])
+	}
+	data, err := art.Get(s.Mesh.Hash)
+	if err != nil {
+		return nil, err
+	}
+	m, err := meshio.DecodeMesh(data)
+	if err != nil {
+		return nil, fmt.Errorf("serve: mesh artifact %s: %w", s.Mesh.Hash[:12], err)
+	}
+	return []*mesh.Mesh{m}, nil
+}
+
+// SpecHash condenses every result-determining field of a validated spec
+// — mesh identity, flow state, scenario, engine kind, workers, levels,
+// cycle shape, cycle budget, tolerance — into the coalescing key. Two
+// concurrent jobs with equal SpecHash would run the identical solve and
+// produce bitwise-identical results, so the scheduler runs one and fans
+// the result out. Priority and deadline are deliberately excluded: they
+// shape scheduling, not the answer.
+func (s *JobSpec) SpecHash() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "scenario=%s|mesh=%s/%s/%d/%d/%d/%d|mach=%x|alpha=%x|engine=%s|workers=%d|levels=%d|cycle=%s|cycles=%d|tol=%x",
+		s.Scenario, s.Mesh.Hash, s.Mesh.Path, s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ, s.Mesh.Seed,
+		s.Mach, s.AlphaDeg, s.Engine, s.Workers, s.Levels, s.Cycle, s.Cycles, s.Tol)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // EngineKey identifies a cached engine: the mesh-content + parameter hash,

@@ -24,10 +24,12 @@ type schedTrace struct {
 	phAcquire trace.PhaseID // engine-cache acquire, incl. lease waits and builds
 	phRun     trace.PhaseID // solver run (arg = cycles completed)
 
-	phHit   trace.PhaseID // engine served from cache
-	phMiss  trace.PhaseID // this job built the engine
-	phDone  trace.PhaseID // terminal instant (arg = cycles recorded)
-	phDrain trace.PhaseID // drained by graceful shutdown
+	phHit    trace.PhaseID // engine served from cache
+	phMiss   trace.PhaseID // this job built the engine
+	phDone   trace.PhaseID // terminal instant (arg = cycles recorded)
+	phDrain  trace.PhaseID // drained by graceful shutdown
+	phAttach trace.PhaseID // waiter coalesced onto a live flight (arg = parties)
+	phFanout trace.PhaseID // shared result copied to a waiter (arg = cycles)
 }
 
 func newSchedTrace(tr *trace.Tracer) *schedTrace {
@@ -44,6 +46,8 @@ func newSchedTrace(tr *trace.Tracer) *schedTrace {
 		phMiss:    tr.Phase("cache-miss"),
 		phDone:    tr.Phase("job-done"),
 		phDrain:   tr.Phase("job-drained"),
+		phAttach:  tr.Phase("coalesce-attach"),
+		phFanout:  tr.Phase("coalesce-fanout"),
 	}
 }
 

@@ -1,0 +1,425 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func payload(n int, seed byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)*31 + seed
+	}
+	return b
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 7, 4096} {
+		p := payload(n, 3)
+		got, err := DecodeBlob(EncodeBlob(p))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("n=%d: payload mismatch", n)
+		}
+	}
+}
+
+func TestDecodeBlobRejectsCorruption(t *testing.T) {
+	blob := EncodeBlob(payload(256, 1))
+	cases := map[string][]byte{
+		"truncated":  blob[:len(blob)-5],
+		"short":      blob[:3],
+		"bit flip":   append(append([]byte(nil), blob[:40]...), append([]byte{blob[40] ^ 0x10}, blob[41:]...)...),
+		"bad magic":  append([]byte("XXL3DA01"), blob[8:]...),
+		"bad length": func() []byte { b := append([]byte(nil), blob...); b[8]++; return b }(),
+	}
+	for name, b := range cases {
+		if _, err := DecodeBlob(b); err == nil {
+			t.Errorf("%s: corruption accepted", name)
+		}
+	}
+}
+
+func TestPutGetMemoryOnly(t *testing.T) {
+	s := NewMemory()
+	p := payload(100, 7)
+	h, err := s.Put(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != Sum(p) {
+		t.Fatalf("hash %s != Sum %s", h, Sum(p))
+	}
+	if !s.Has(h) {
+		t.Fatal("Has miss after Put")
+	}
+	got, err := s.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("payload mismatch")
+	}
+	if _, err := s.Get(strings.Repeat("0", 64)); err == nil {
+		t.Fatal("Get of absent hash succeeded")
+	}
+	if _, err := s.Put(nil); err == nil {
+		t.Fatal("empty Put accepted")
+	}
+	if st := s.Stats(); st.Puts != 1 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	p := payload(500, 9)
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s1.Put(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Has(h) {
+		t.Fatal("restart lost the artifact")
+	}
+	got, err := s2.Get(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, p) {
+		t.Fatal("payload mismatch after restart")
+	}
+}
+
+// Concurrent puts of the same bytes must collapse to one entry and one
+// disk write: no torn files, no double accounting.
+func TestConcurrentSameHashPuts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := payload(10_000, 5)
+	want := Sum(p)
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	hashes := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hashes[i], errs[i] = s.Put(append([]byte(nil), p...))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("put %d: %v", i, errs[i])
+		}
+		if hashes[i] != want {
+			t.Fatalf("put %d: hash %s", i, hashes[i])
+		}
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.DupPuts != n-1 {
+		t.Fatalf("want 1 put + %d dups, got %+v", n-1, st)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len %d", s.Len())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []string
+	for _, e := range ents {
+		files = append(files, e.Name())
+	}
+	if len(files) != 1 || files[0] != want+".blob" {
+		t.Fatalf("disk files %v, want exactly %s.blob", files, want)
+	}
+	got, err := s.Get(want)
+	if err != nil || !bytes.Equal(got, p) {
+		t.Fatalf("get after racing puts: %v", err)
+	}
+}
+
+func TestCorruptBlobQuarantinedAndRefetchable(t *testing.T) {
+	dir := t.TempDir()
+	p := payload(300, 11)
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s1.Put(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt the blob on disk, then reopen so the store must read it.
+	path := filepath.Join(dir, h+".blob")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x40
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(h); err == nil {
+		t.Fatal("corrupt blob served")
+	}
+	if s2.Has(h) {
+		t.Fatal("corrupt entry still tracked")
+	}
+	if st := s2.Stats(); st.Quarantines != 1 {
+		t.Fatalf("quarantines %d", st.Quarantines)
+	}
+	if _, err := os.Stat(path + ".quar"); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	// A re-upload of the same bytes heals the store.
+	h2, err := s2.Put(p)
+	if err != nil || h2 != h {
+		t.Fatalf("re-put: %s %v", h2, err)
+	}
+	got, err := s2.Get(h)
+	if err != nil || !bytes.Equal(got, p) {
+		t.Fatalf("get after heal: %v", err)
+	}
+}
+
+// A blob whose bytes are a valid frame for *different* content (wrong
+// file under the name) must fail the content check, not just the CRC.
+func TestMismatchedContentQuarantined(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s1.Put(payload(64, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a well-formed blob of other content.
+	if err := os.WriteFile(filepath.Join(dir, h+".blob"), EncodeBlob(payload(64, 2)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Get(h); err == nil {
+		t.Fatal("mismatched blob served")
+	}
+	if st := s2.Stats(); st.Quarantines != 1 {
+		t.Fatalf("quarantines %d", st.Quarantines)
+	}
+}
+
+func TestMemEvictionSpillsToDisk(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, MemBudget: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	for i := 0; i < 5; i++ {
+		h, err := s.Put(payload(1000, byte(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hashes = append(hashes, h)
+	}
+	if mb := s.MemBytes(); mb > 2500 {
+		t.Fatalf("mem %d over budget", mb)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("len %d: disk-backed entries evicted entirely", s.Len())
+	}
+	// Every artifact remains retrievable (reloaded from disk).
+	for i, h := range hashes {
+		got, err := s.Get(h)
+		if err != nil {
+			t.Fatalf("get %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload(1000, byte(i))) {
+			t.Fatalf("get %d: payload mismatch", i)
+		}
+	}
+	if st := s.Stats(); st.Evictions == 0 {
+		t.Fatal("no evictions recorded")
+	}
+}
+
+func TestMemoryOnlyEvictionDropsIdle(t *testing.T) {
+	s, err := New(Config{MemBudget: 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hashes []string
+	for i := 0; i < 5; i++ {
+		h, _ := s.Put(payload(1000, byte(i)))
+		hashes = append(hashes, h)
+	}
+	if mb := s.MemBytes(); mb > 2500 {
+		t.Fatalf("mem %d over budget", mb)
+	}
+	if s.Len() >= 5 {
+		t.Fatal("nothing evicted")
+	}
+	// The most recent artifact must survive LRU pressure.
+	if !s.Has(hashes[4]) {
+		t.Fatal("most-recent artifact evicted")
+	}
+}
+
+func TestPinnedEntriesSurviveEviction(t *testing.T) {
+	s, err := New(Config{MemBudget: 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := payload(1000, 42)
+	h, _ := s.Put(p)
+	if err := s.Pin(h); err != nil {
+		t.Fatal(err)
+	}
+	// Flood the store far past budget; the pinned artifact must stay.
+	for i := 0; i < 8; i++ {
+		s.Put(payload(1000, byte(i)))
+	}
+	got, err := s.Get(h)
+	if err != nil || !bytes.Equal(got, p) {
+		t.Fatalf("pinned artifact lost: %v", err)
+	}
+	s.Unpin(h)
+	// Now idle: further pressure may evict it.
+	for i := 8; i < 20; i++ {
+		s.Put(payload(1000, byte(i)))
+	}
+	if s.MemBytes() > 1500 {
+		t.Fatalf("mem %d over budget after unpin", s.MemBytes())
+	}
+}
+
+func TestDiskBudgetEvictsWholeArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, MemBudget: 100_000, DiskBudget: 3 * (1000 + int64(blobOverhead))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := s.Put(payload(1000, byte(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db := s.DiskBytes(); db > 3*(1000+int64(blobOverhead)) {
+		t.Fatalf("disk %d over budget", db)
+	}
+	ents, _ := os.ReadDir(dir)
+	if len(ents) > 3 {
+		t.Fatalf("%d blobs on disk, budget allows 3", len(ents))
+	}
+}
+
+func TestValidHash(t *testing.T) {
+	if !ValidHash(Sum([]byte("x"))) {
+		t.Fatal("real hash rejected")
+	}
+	for _, h := range []string{"", "abc", strings.Repeat("g", 64), strings.Repeat("A", 64)} {
+		if ValidHash(h) {
+			t.Fatalf("%q accepted", h)
+		}
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(Config{Dir: dir, MemBudget: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				p := payload(500+50*(i%4), byte(i%6))
+				h, err := s.Put(p)
+				if err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if err := s.Pin(h); err == nil {
+					if got, err := s.Get(h); err != nil || !bytes.Equal(got, p) {
+						t.Errorf("get under pin: %v", err)
+					}
+					s.Unpin(h)
+				}
+				s.Has(h)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Exactly 6 distinct payload seeds × 4 sizes = 24 possible artifacts.
+	if n := s.Len(); n > 24 {
+		t.Fatalf("len %d", n)
+	}
+}
+
+func FuzzArtifactDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeBlob([]byte("mesh bytes")))
+	f.Add(EncodeBlob(payload(64, 3)))
+	f.Add([]byte(blobMagic))
+	blob := EncodeBlob(payload(33, 8))
+	blob[11] ^= 0x01
+	f.Add(blob)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		payload, err := DecodeBlob(b)
+		if err != nil {
+			return
+		}
+		// Whatever decodes must re-encode to the identical frame.
+		if got := EncodeBlob(payload); !bytes.Equal(got, b) {
+			t.Fatalf("decode/encode not a round trip: %d vs %d bytes", len(got), len(b))
+		}
+	})
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	s := NewMemory()
+	p := payload(1<<16, 1)
+	h, _ := s.Put(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = fmt.Sprintf("%s", h)
+}
