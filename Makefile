@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race verify serve-smoke cluster-smoke store-smoke trace-smoke scenario-smoke bench bench-check clean
+.PHONY: all build test race verify serve-smoke cluster-smoke store-smoke trace-smoke scenario-smoke adapt-smoke bench bench-check clean
 
 all: build
 
@@ -18,10 +18,11 @@ test:
 # pooled multigrid scatters in parallel, the flight-recorder tracer
 # whose rings are written from every worker concurrently, the cluster
 # coordinator with its health monitors and handoff machinery, the
-# scenario harness that drives every engine over the presets, and the
-# content-addressed artifact store hit from every HTTP handler at once.
+# scenario harness that drives every engine over the presets, the
+# content-addressed artifact store hit from every HTTP handler at once,
+# and the adaptive driver that rebuilds the pooled engine between epochs.
 race:
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/... ./internal/store/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/... ./internal/store/... ./internal/adapt/...
 
 # End-to-end serving smoke: build eul3dd, start it on a random port, run a
 # channel-mesh job to completion, check /metrics, then SIGTERM it mid-job
@@ -58,22 +59,32 @@ trace-smoke:
 scenario-smoke:
 	$(GO) test -run TestScenarioSmoke -count 1 -v ./cmd/eul3dd
 
+# End-to-end adaptive-solve smoke: build eul3d, run the Sod preset with
+# -adapt on the pooled engine, and assert the epoch count, cells refined,
+# mesh conformity, the incremental-vs-from-scratch rebuild comparison,
+# and the scenario physics check on the adapted mesh.
+adapt-smoke:
+	$(GO) test -run TestAdaptSmoke -count 1 -v ./cmd/eul3d
+
 # Full gate: vet, all tests, race pass, short fuzz smokes on the
-# fault-spec parser, the exact Riemann solver and the artifact blob frame
-# decoder (errors, never panics), and the serving, cluster, artifact-store,
-# tracing and scenario smoke tests.
+# fault-spec parser, the exact Riemann solver, the artifact blob frame
+# decoder and the refinement midpoint table (errors, never panics), and
+# the serving, cluster, artifact-store, tracing, scenario and adaptive
+# smoke tests.
 verify: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/... ./internal/store/...
+	$(GO) test -race ./internal/simnet/... ./internal/parti/... ./internal/dmsolver/... ./internal/smsolver/... ./internal/multigrid/... ./internal/serve/... ./internal/trace/... ./internal/cluster/... ./internal/scenario/... ./internal/store/... ./internal/adapt/...
 	$(GO) test -run '^$$' -fuzz FuzzParseFaultSpec -fuzztime 2s ./internal/simnet
 	$(GO) test -run '^$$' -fuzz FuzzRiemann -fuzztime 2s ./internal/scenario
 	$(GO) test -run '^$$' -fuzz FuzzArtifactDecode -fuzztime 2s ./internal/store
+	$(GO) test -run '^$$' -fuzz FuzzMidpointTable -fuzztime 2s ./internal/refine
 	$(GO) test -run TestServeSmoke -count 1 ./cmd/eul3dd
 	$(GO) test -run TestClusterSmoke -count 1 ./cmd/eul3dc
 	$(GO) test -run TestStoreSmoke -count 1 ./cmd/eul3dc
 	$(GO) test -run TestTraceSmoke -count 1 ./cmd/eul3d
 	$(GO) test -run TestScenarioSmoke -count 1 ./cmd/eul3dd
+	$(GO) test -run TestAdaptSmoke -count 1 ./cmd/eul3d
 	$(MAKE) bench-check
 
 # Benchmarks: the Go micro-benchmarks plus the shared-memory scaling run,

@@ -59,6 +59,13 @@ func main() {
 		history  = flag.String("history", "", "write the residual history as CSV to this file")
 		tracePth = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (load in Perfetto or chrome://tracing)")
 
+		adaptOn   = flag.Bool("adapt", false, "adaptive solve: refine the mesh during the run driven by an error indicator (single-grid; -workers selects the pooled engine)")
+		adaptBud  = flag.Int("adapt-budget", 0, "with -adapt: cell budget (0 = 4x the starting cell count)")
+		adaptIntv = flag.Int("adapt-interval", 50, "with -adapt: steps between adaptation epochs")
+		adaptEp   = flag.Int("adapt-epochs", 2, "with -adapt: maximum refinement epochs")
+		adaptInd  = flag.String("adapt-indicator", "density", "with -adapt: error indicator (density, pressure or residual)")
+		adaptFrac = flag.Float64("adapt-frac", 0.1, "with -adapt: fraction of cells marked per epoch")
+
 		nproc     = flag.Int("nproc", 0, "simulated processors for the distributed solver (0 = in-process sequential solver)")
 		mimd      = flag.Bool("mimd", false, "with -nproc: run one goroutine per simulated processor (true MIMD mode)")
 		faultSpec = flag.String("faults", "", "with -nproc: seeded fault-injection spec, e.g. seed=7,drop=2,dup=1,corrupt=1,delay=1,reorder=1,crash=2@40")
@@ -157,6 +164,37 @@ func main() {
 	var tracer *trace.Tracer
 	if *tracePth != "" {
 		tracer = trace.New(1 << 14)
+	}
+	if *adaptOn {
+		for flagName, on := range map[string]bool{
+			"-nproc":         *nproc > 0,
+			"-fmg":           *fmg > 0,
+			"-resume":        *resume != "",
+			"-init-solution": *initSol != "",
+			"-contours":      *contours,
+		} {
+			if on {
+				log.Fatalf("eul3d: -adapt is incompatible with %s", flagName)
+			}
+		}
+		if *strategy != "single" {
+			explicit := map[string]bool{}
+			flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+			if explicit["strategy"] {
+				log.Fatalf("eul3d: -adapt runs on a single grid; use -strategy single (-workers selects the pooled engine)")
+			}
+			*strategy = "single"
+		}
+		runAdaptive(p, sc, loadSeq, adaptOpts{
+			budget: *adaptBud, interval: *adaptIntv, epochs: *adaptEp,
+			indicator: *adaptInd, frac: *adaptFrac,
+			workers: *workers, cycles: *cycles, tol: *tol, logEvery: *logEvery,
+			scenName: *scenName, stats: *stats,
+			history: *history, saveSol: *saveSol, saveVTK: *saveVTK,
+			mach: *mach, alpha: *alpha,
+			tracer: tracer, tracePath: *tracePth,
+		})
+		return
 	}
 	if *nproc > 0 {
 		runDistributed(p, loadSeq, ck, distOpts{

@@ -1,0 +1,436 @@
+// Package adapt drives error-indicator-driven mesh refinement *during* a
+// solve — the adaptive loop the paper's Section 2.3 leaves as the open
+// door ("new finer meshes can be introduced by adaptive refinement").
+//
+// The driver alternates solve intervals with adaptation epochs. Each
+// epoch:
+//
+//  1. computes a per-cell error indicator from the running solution
+//     (undivided density or relative pressure differences over the cell's
+//     edges, or the density residual; indicator.go),
+//  2. marks the strongest cells under a cell budget and refines them
+//     selectively with red-green closure (refine.Selective),
+//  3. transfers the solution to the new mesh — surviving vertices keep
+//     their state, edge midpoints average their parents, with a defensive
+//     admissibility clamp (transfer.go),
+//  4. recomputes the stable time step (time-accurate runs shrink GlobalDt
+//     to the refined mesh's CFL bound and re-mesh the remaining time so
+//     the run still lands exactly on the final time), and
+//  5. rebuilds the solve engine incrementally (smsolver.Rebuild /
+//     euler.Disc.Retarget): colorings extended rather than recomputed,
+//     scratch grown in place, the worker pool untouched.
+//
+// Every stage runs sequentially in mesh order and depends only on the
+// mesh, the solution and the options — never on the worker count — so a
+// fixed adaptation schedule produces bitwise-identical results at every
+// pooled worker count (the solver engines already guarantee this for the
+// solve intervals; the golden Sod test asserts it end to end).
+package adapt
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+	"eul3d/internal/perf"
+	"eul3d/internal/refine"
+	"eul3d/internal/smsolver"
+	"eul3d/internal/trace"
+)
+
+// Options configures an adaptive run.
+type Options struct {
+	Mesh   *mesh.Mesh    // starting mesh (ignored when Resume is set)
+	Init   []euler.State // initial condition on Mesh (taken over by the driver)
+	Params euler.Params
+
+	Engine  string // "single" (default) or "sm"
+	Workers int    // sm worker count; <=0 selects GOMAXPROCS
+
+	// Steps is the total step budget. Time-accurate runs (Params.GlobalDt
+	// > 0) integrate to the fixed final time Steps*GlobalDt; adaptation
+	// shrinks the step and raises the step count to land exactly there.
+	Steps     int
+	Tolerance float64 // steady runs: stop when norm/initial falls below this
+
+	Budget    int     // cell budget; 0 = 4x the starting cell count
+	Interval  int     // steps between adaptation epochs (default 50)
+	MaxEpochs int     // refinement epochs allowed (default 2)
+	Indicator string  // "density" (default), "pressure", "residual"
+	Frac      float64 // fraction of cells marked per epoch (default 0.1)
+	Theta     float64 // relative indicator threshold in (0,1] (default 0.25)
+
+	LogEvery int
+	Log      io.Writer
+
+	// Context, when non-nil, is checked before every step; cancellation
+	// stops the run with Result.Cancelled set and a resumable Snapshot.
+	Context  context.Context
+	Progress func(step int, norm float64)
+
+	// Trace, when non-nil, records an "adapt" track with one span per
+	// adaptation epoch and a nested rebuild span.
+	Trace *trace.Tracer
+
+	// CheckpointEvery > 0 invokes OnCheckpoint with a fresh Snapshot every
+	// that many steps (and after every adaptation epoch, so a resume never
+	// replays a refinement).
+	CheckpointEvery int
+	OnCheckpoint    func(*Snapshot) error
+
+	// Resume continues a run from a Snapshot (produced by cancellation or
+	// OnCheckpoint) instead of starting from Mesh/Init.
+	Resume *Snapshot
+}
+
+// EpochStat records one adaptation epoch.
+type EpochStat struct {
+	Step         int     `json:"step"` // step count when the epoch ran
+	Marked       int     `json:"marked"`
+	Red          int     `json:"red"`
+	Green        int     `json:"green"`
+	CellsBefore  int     `json:"cells_before"`
+	CellsAfter   int     `json:"cells_after"`
+	NewVerts     int     `json:"new_verts"`
+	ReusedColors int     `json:"reused_colors"`
+	Dt           float64 `json:"dt,omitempty"` // dt after the epoch; 0 on steady runs
+	RebuildNS    int64   `json:"rebuild_ns"`
+	ScratchNS    int64   `json:"scratch_ns,omitempty"` // from-scratch build, measured on the first epoch
+}
+
+// Result summarizes an adaptive run.
+type Result struct {
+	Steps       int
+	History     []float64
+	InitialNorm float64
+	FinalNorm   float64
+	Converged   bool
+	Cancelled   bool
+
+	Mesh     *mesh.Mesh    // final (adapted) mesh
+	Solution []euler.State // solution on Mesh
+
+	Epochs       []EpochStat
+	CellsRefined int        // total cells added across all epochs
+	Stats        perf.Stats // driver phases: solve/indicator/refine/transfer/rebuild
+
+	Snap *Snapshot // set when Cancelled: resume point
+}
+
+// Snapshot is the resumable state of an adaptive run: unlike a plain
+// solver checkpoint it carries the current (adapted) mesh and the
+// adaptation counters.
+type Snapshot struct {
+	Mesh         *mesh.Mesh
+	W            []euler.State
+	History      []float64
+	Step         int
+	EpochsDone   int
+	Dt           float64 // current global dt (0 on steady runs)
+	StepsLeft    int
+	SinceEpoch   int
+	CellsRefined int
+}
+
+// Driver phase slots of the perf accumulator.
+const (
+	phSolve = iota
+	phIndicator
+	phRefine
+	phTransfer
+	phRebuild
+	phScratch
+	nPhases
+)
+
+var phaseNames = [nPhases]string{"solve", "indicator", "refine", "transfer", "rebuild", "build-scratch"}
+
+// engine abstracts the two solve backends the driver can rebuild
+// incrementally between epochs.
+type engine interface {
+	step(w []euler.State) float64
+	rebuild(m *mesh.Mesh, p euler.Params) (reusedColors int, err error)
+	close()
+}
+
+type singleEngine struct {
+	d  *euler.Disc
+	ws *euler.StepWorkspace
+}
+
+func (e *singleEngine) step(w []euler.State) float64 { return e.d.Step(w, nil, e.ws) }
+func (e *singleEngine) rebuild(m *mesh.Mesh, p euler.Params) (int, error) {
+	e.d.Retarget(m, p)
+	e.ws.Resize(m.NV())
+	return 0, nil
+}
+func (e *singleEngine) close() {}
+
+type smEngine struct{ s *smsolver.Solver }
+
+func (e *smEngine) step(w []euler.State) float64 { return e.s.Step(w, nil) }
+func (e *smEngine) rebuild(m *mesh.Mesh, p euler.Params) (int, error) {
+	return e.s.Rebuild(m, p)
+}
+func (e *smEngine) close() { e.s.Close() }
+
+func newEngine(kind string, m *mesh.Mesh, p euler.Params, workers int) (engine, error) {
+	switch kind {
+	case "", "single":
+		return &singleEngine{d: euler.NewDisc(m, p), ws: euler.NewStepWorkspace(m.NV())}, nil
+	case "sm":
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s, err := smsolver.New(m, p, workers)
+		if err != nil {
+			return nil, err
+		}
+		return &smEngine{s: s}, nil
+	default:
+		return nil, fmt.Errorf("adapt: unknown engine %q (want single or sm)", kind)
+	}
+}
+
+// Run executes an adaptive solve.
+func Run(opt Options) (*Result, error) {
+	m, w, p := opt.Mesh, opt.Init, opt.Params
+	step, epochs, since, cellsRefined := 0, 0, 0, 0
+	dt := p.GlobalDt
+	timeAccurate := dt > 0
+	var history []float64
+	stepsLeft := opt.Steps
+	if rs := opt.Resume; rs != nil {
+		m, w = rs.Mesh, rs.W
+		history = append(history, rs.History...)
+		step, epochs, since = rs.Step, rs.EpochsDone, rs.SinceEpoch
+		cellsRefined = rs.CellsRefined
+		if timeAccurate {
+			dt, stepsLeft = rs.Dt, rs.StepsLeft
+			p.GlobalDt = dt
+		} else {
+			stepsLeft = opt.Steps - step
+		}
+	}
+	if m == nil || m.NV() == 0 {
+		return nil, errors.New("adapt: nil or empty mesh")
+	}
+	if len(w) != m.NV() {
+		return nil, fmt.Errorf("adapt: %d states for %d vertices", len(w), m.NV())
+	}
+	if opt.Steps <= 0 {
+		return nil, errors.New("adapt: Steps must be positive")
+	}
+	interval := opt.Interval
+	if interval <= 0 {
+		interval = 50
+	}
+	maxEpochs := opt.MaxEpochs
+	if maxEpochs <= 0 {
+		maxEpochs = 2
+	}
+	budget := opt.Budget
+	if budget <= 0 {
+		budget = 4 * m.NT()
+	}
+	frac := opt.Frac
+	if frac <= 0 || frac > 0.5 {
+		frac = 0.1
+	}
+	theta := opt.Theta
+	if theta <= 0 || theta > 1 {
+		theta = 0.25
+	}
+
+	ind, err := newIndicator(opt.Indicator)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := newEngine(opt.Engine, m, p, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.close()
+
+	var atrack *trace.Track
+	var phEpoch, phRebuildTr trace.PhaseID
+	if opt.Trace != nil {
+		atrack = opt.Trace.Track("adapt")
+		phEpoch = opt.Trace.Phase("epoch")
+		phRebuildTr = opt.Trace.Phase("rebuild")
+	}
+
+	acc := perf.NewAccum(phaseNames[:]...)
+	res := &Result{}
+	snapshot := func() *Snapshot {
+		return &Snapshot{
+			Mesh:         m,
+			W:            append([]euler.State(nil), w...),
+			History:      append([]float64(nil), history...),
+			Step:         step,
+			EpochsDone:   epochs,
+			Dt:           dt,
+			StepsLeft:    stepsLeft,
+			SinceEpoch:   since,
+			CellsRefined: cellsRefined,
+		}
+	}
+
+	for stepsLeft > 0 {
+		if ctx := opt.Context; ctx != nil {
+			select {
+			case <-ctx.Done():
+				res.Cancelled = true
+				res.Snap = snapshot()
+				stepsLeft = 0
+			default:
+			}
+			if res.Cancelled {
+				break
+			}
+		}
+		t0 := time.Now()
+		norm := eng.step(w)
+		acc.Add(phSolve, time.Since(t0), 0)
+		step++
+		stepsLeft--
+		since++
+		history = append(history, norm)
+		if opt.Progress != nil {
+			opt.Progress(step, norm)
+		}
+		if opt.LogEvery > 0 && opt.Log != nil && step%opt.LogEvery == 0 {
+			fmt.Fprintf(opt.Log, "step %5d  res %.6e  cells %d  epochs %d\n", step, norm, m.NT(), epochs)
+		}
+		if !timeAccurate && opt.Tolerance > 0 && len(history) > 0 && norm/history[0] < opt.Tolerance {
+			res.Converged = true
+			break
+		}
+
+		if since >= interval && epochs < maxEpochs && m.NT() < budget && stepsLeft > 0 {
+			epochStart := time.Now()
+			t0 = epochStart
+			eta := ind.compute(m, w, p)
+			marked, nmark := markCells(eta, frac, theta, budget, m.NT())
+			acc.Add(phIndicator, time.Since(t0), 0)
+			since = 0
+			if nmark == 0 {
+				continue // nothing exceeds the threshold; check again next interval
+			}
+
+			t0 = time.Now()
+			r, err := refine.Selective(m, marked)
+			if err != nil {
+				return nil, fmt.Errorf("adapt: epoch %d: %w", epochs+1, err)
+			}
+			if err := r.Mesh.Validate(1e-9); err != nil {
+				return nil, fmt.Errorf("adapt: epoch %d produced invalid mesh: %w", epochs+1, err)
+			}
+			acc.Add(phRefine, time.Since(t0), 0)
+
+			t0 = time.Now()
+			wNew := Transfer(r, w, &p)
+			acc.Add(phTransfer, time.Since(t0), 0)
+
+			st := EpochStat{
+				Step: step, Marked: nmark,
+				Red: r.Red, Green: r.Green,
+				CellsBefore: m.NT(), CellsAfter: r.Mesh.NT(),
+				NewVerts: r.Mesh.NV() - r.NVOld,
+			}
+
+			if timeAccurate {
+				// Rescale the global step to the refined mesh's stability
+				// bound and re-mesh the remaining time R = dt*stepsLeft into
+				// equal steps, so the run still ends exactly at the final
+				// time. dt never grows: coarsening is not implemented, and a
+				// larger step would leave the committed stability margin.
+				stableOld := euler.MinStableDt(m, p, w)
+				stableNew := euler.MinStableDt(r.Mesh, p, wNew)
+				ratio := 1.0
+				if stableOld > 0 && stableNew < stableOld {
+					ratio = stableNew / stableOld
+				}
+				remaining := dt * float64(stepsLeft)
+				n := int(math.Ceil(remaining/(dt*ratio) - 1e-12))
+				if n < stepsLeft {
+					n = stepsLeft
+				}
+				dt = remaining / float64(n)
+				stepsLeft = n
+				p.GlobalDt = dt
+				st.Dt = dt
+			}
+
+			tR := time.Now()
+			reused, err := eng.rebuild(r.Mesh, p)
+			rebuildDur := time.Since(tR)
+			if err != nil {
+				return nil, fmt.Errorf("adapt: epoch %d rebuild: %w", epochs+1, err)
+			}
+			acc.Add(phRebuild, rebuildDur, 0)
+			st.ReusedColors = reused
+			st.RebuildNS = int64(rebuildDur)
+
+			if len(res.Epochs) == 0 {
+				// Measure the cost a from-scratch engine build would have
+				// paid on the adapted mesh, once, for the incremental-vs-
+				// scratch comparison the run reports. The throwaway engine
+				// never steps, so results are unaffected.
+				tS := time.Now()
+				scratch, err := newEngine(opt.Engine, r.Mesh, p, opt.Workers)
+				scratchDur := time.Since(tS)
+				if err == nil {
+					scratch.close()
+					acc.Add(phScratch, scratchDur, 0)
+					st.ScratchNS = int64(scratchDur)
+				}
+			}
+
+			cellsRefined += r.Mesh.NT() - m.NT()
+			m, w = r.Mesh, wNew
+			epochs++
+			res.Epochs = append(res.Epochs, st)
+			if atrack != nil {
+				now := time.Now()
+				atrack.Span(phEpoch, epochStart, now, int64(epochs))
+				atrack.Span(phRebuildTr, tR, tR.Add(rebuildDur), int64(reused))
+			}
+			if opt.Log != nil {
+				fmt.Fprintf(opt.Log, "epoch %d @ step %d: %d marked, cells %d -> %d (red %d, green %d), %d colors reused, rebuild %.2fms\n",
+					epochs, step, nmark, st.CellsBefore, st.CellsAfter, r.Red, r.Green, reused,
+					float64(st.RebuildNS)/1e6)
+			}
+			if opt.CheckpointEvery > 0 && opt.OnCheckpoint != nil {
+				if err := opt.OnCheckpoint(snapshot()); err != nil {
+					return nil, fmt.Errorf("adapt: checkpoint after epoch %d: %w", epochs, err)
+				}
+			}
+			continue
+		}
+
+		if opt.CheckpointEvery > 0 && opt.OnCheckpoint != nil && step%opt.CheckpointEvery == 0 && stepsLeft > 0 {
+			if err := opt.OnCheckpoint(snapshot()); err != nil {
+				return nil, fmt.Errorf("adapt: checkpoint at step %d: %w", step, err)
+			}
+		}
+	}
+
+	res.Steps = step
+	res.History = history
+	if len(history) > 0 {
+		res.InitialNorm = history[0]
+		res.FinalNorm = history[len(history)-1]
+	}
+	res.Mesh = m
+	res.Solution = w
+	res.CellsRefined = cellsRefined
+	res.Stats = acc.Stats()
+	return res, nil
+}

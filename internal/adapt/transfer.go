@@ -1,0 +1,35 @@
+package adapt
+
+import (
+	"eul3d/internal/euler"
+	"eul3d/internal/refine"
+)
+
+// Transfer maps a solution from the parent mesh onto the selectively
+// refined one. In this vertex-centered median-dual scheme the refined
+// dual control volumes partition the parent ones, so injection at the
+// surviving vertices plus the parent-edge average at each midpoint *is*
+// the volume-weighted conservative transfer up to the dual
+// re-tessellation: a vertex state is the control-volume average, surviving
+// vertices keep theirs, and a midpoint's new control volume straddles the
+// two parent volumes symmetrically.
+//
+// Admissibility: the average of two admissible conserved states has
+// positive density (linear) and positive pressure (pressure is concave in
+// the conserved variables, so it is at least the endpoint minimum).
+// Params.Repair is still applied defensively — it is the identity on
+// admissible states, so in exact arithmetic it never fires; it exists to
+// clamp the one-ULP excursions of floating point near the floors, the
+// same ConvexLimit-style guarantee the stage updates get.
+func Transfer(r *refine.Refined, w []euler.State, p *euler.Params) []euler.State {
+	out := make([]euler.State, r.Mesh.NV())
+	copy(out, w[:r.NVOld])
+	for k, pr := range r.MidParents {
+		var st euler.State
+		for c := 0; c < euler.NVar; c++ {
+			st[c] = 0.5 * (w[pr[0]][c] + w[pr[1]][c])
+		}
+		out[r.NVOld+k] = p.Repair(st)
+	}
+	return out
+}

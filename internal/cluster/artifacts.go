@@ -15,6 +15,72 @@ import (
 // job names, pushing from its own cache or proxying from whichever peer
 // has the bytes.
 
+// artifactAffinity reroutes a placement toward the data: when the job
+// names artifacts (mesh hash, resume-checkpoint hash) that the routed
+// node would need pushed, but another routable node already holds them
+// all, placing on the holder skips the transfer entirely. Every check is
+// a HEAD probe — bytes only ever move when no holder exists. A warm
+// engine pin on the routed node always wins: rebuilding a solver engine
+// costs far more than moving a blob. Returns nil to keep the routed node.
+func (c *Coordinator) artifactAffinity(j *cjob, routed *node, exclude map[string]bool) *node {
+	j.mu.Lock()
+	ckptHash := j.ckptHash
+	j.mu.Unlock()
+	var hashes []string
+	if h := j.Spec.Mesh.Hash; h != "" {
+		hashes = append(hashes, h)
+	}
+	if ckptHash != "" {
+		hashes = append(hashes, ckptHash)
+	}
+	if len(hashes) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if pin, warm := c.warm[j.key]; warm && pin == routed.name {
+		c.mu.Unlock()
+		return nil
+	}
+	names := c.ring.Order(j.key)
+	cands := make([]*node, 0, len(names))
+	for _, name := range names {
+		if name == routed.name || exclude[name] {
+			continue
+		}
+		if n := c.nodes[name]; n != nil && n.routable() {
+			cands = append(cands, n)
+		}
+	}
+	c.mu.Unlock()
+	if len(cands) == 0 || c.nodeHasAll(routed, hashes) {
+		return nil
+	}
+	// Candidates are probed in ring order, so repeats of one key keep
+	// landing on the same holder until its engine pin takes over.
+	for _, n := range cands {
+		if c.nodeHasAll(n, hashes) {
+			c.met.HashPlacements.Add(1)
+			c.cfg.Log.Printf("job %s: placing on %s, which already holds its %d artifact(s) (%s would need a push)",
+				j.ID, n.name, len(hashes), routed.name)
+			return n
+		}
+	}
+	return nil
+}
+
+// nodeHasAll HEAD-probes n for every named hash.
+func (c *Coordinator) nodeHasAll(n *node, hashes []string) bool {
+	for _, h := range hashes {
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.CallTimeout)
+		ok, err := n.client.artifactHas(ctx, h)
+		cancel()
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
 // ensureArtifact makes hash present on node n. Cheapest path first: the
 // node already holds it; else push from the coordinator's cache; else
 // proxy the bytes from a peer node, cache them, and push.

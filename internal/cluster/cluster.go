@@ -756,6 +756,12 @@ func (c *Coordinator) place(j *cjob) (*node, error) {
 		if !ok {
 			return nil, ErrNoHealthyNodes
 		}
+		// Hash-aware placement: if the routed node would need the job's
+		// artifacts pushed but a routable peer already holds them, place on
+		// the holder instead — HEAD probes are cheap, blob pushes are not.
+		if holder := c.artifactAffinity(j, n, exclude); holder != nil {
+			n = holder
+		}
 		// A hash-named mesh must be on the node before the spec referencing
 		// it lands there; a node the artifact cannot reach is excluded for
 		// the round.

@@ -226,6 +226,7 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("eul3dc_artifact_uploads_total", m.ArtifactUploads.Load(), "artifacts uploaded to the coordinator")
 	counter("eul3dc_artifact_pushes_total", m.ArtifactPushes.Load(), "artifacts pushed to nodes at placement")
 	counter("eul3dc_artifact_proxies_total", m.ArtifactProxies.Load(), "artifacts proxied between nodes")
+	counter("eul3dc_hash_placements_total", m.HashPlacements.Load(), "placements rerouted to a node already holding the job's artifacts")
 
 	st := a.c.Store().Stats()
 	counter("eul3dc_artifact_hits_total", st.Hits, "artifact cache hits")

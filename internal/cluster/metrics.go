@@ -25,4 +25,5 @@ type Metrics struct {
 	ArtifactUploads atomic.Int64 // artifacts PUT to the coordinator by clients
 	ArtifactPushes  atomic.Int64 // artifacts pushed to nodes at placement time
 	ArtifactProxies atomic.Int64 // artifacts fetched from one node on behalf of another
+	HashPlacements  atomic.Int64 // placements rerouted to a node already holding the job's artifacts
 }

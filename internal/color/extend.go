@@ -1,0 +1,192 @@
+package color
+
+import "fmt"
+
+// Incremental recoloring for adaptive refinement. Selective refinement
+// keeps every surviving vertex under its old index, and every edge of the
+// refined mesh joining two old vertices existed in the parent mesh (a
+// child edge between parent vertices is always a parent edge that was not
+// split). ExtendGreedy exploits that: surviving edges keep their old
+// color — a conflict would require two old edges sharing a vertex to have
+// shared a color, which the old coloring forbids — and only the new edges
+// (those touching a midpoint vertex) pay the greedy lowest-free search.
+// The result depends only on the meshes and the previous coloring, never
+// on the worker count, so rebuilt engines stay bitwise deterministic.
+
+// ExtendGreedy colors edges by extending prev, the coloring of prevEdges
+// (the edge list of the mesh this one was refined from). It returns the
+// new coloring and the number of edges that kept their previous color.
+func ExtendGreedy(nv int, edges [][2]int32, prev *Coloring, prevEdges [][2]int32) (*Coloring, int, error) {
+	if prev == nil {
+		c, err := Greedy(nv, edges)
+		return c, 0, err
+	}
+	if len(prev.Order) != len(prevEdges) {
+		return nil, 0, fmt.Errorf("color: previous coloring covers %d edges, previous mesh has %d", len(prev.Order), len(prevEdges))
+	}
+
+	// The highest old vertex index bounds the survivor search: refinement
+	// appends midpoint vertices after the survivors, so any edge touching
+	// a vertex above maxOld is new and skips the lookup entirely.
+	maxOld := int32(-1)
+	for _, e := range prevEdges {
+		if e[0] < 0 || int(e[0]) >= nv || e[1] < 0 || int(e[1]) >= nv {
+			return nil, 0, fmt.Errorf("color: previous edge (%d,%d) outside [0,%d)", e[0], e[1], nv)
+		}
+		if e[0] > maxOld {
+			maxOld = e[0]
+		}
+		if e[1] > maxOld {
+			maxOld = e[1]
+		}
+	}
+	nOld := int(maxOld + 1)
+
+	// Old colors per old edge, then a CSR adjacency of the old mesh with
+	// the edge color attached, for O(degree) surviving-edge lookups.
+	oldColor := make([]int32, len(prevEdges))
+	for g := 0; g < prev.NumColors(); g++ {
+		for _, ei := range prev.Group(g) {
+			oldColor[ei] = int32(g)
+		}
+	}
+	// Forward-only rows: edges are stored (i, j) with i < j in both
+	// meshes, and every lookup comes from a new-mesh edge in that same
+	// orientation, so each old edge needs only its i-side row entry —
+	// half the build work and half the scan length of a full adjacency.
+	adjStart := make([]int32, nOld+1)
+	for _, e := range prevEdges {
+		lo := e[0]
+		if e[1] < lo {
+			lo = e[1]
+		}
+		adjStart[lo+1]++
+	}
+	for v := 0; v < nOld; v++ {
+		adjStart[v+1] += adjStart[v]
+	}
+	adjVert := make([]int32, len(prevEdges))
+	adjColor := make([]int32, len(prevEdges))
+	fill := make([]int32, nOld)
+	for ei, e := range prevEdges {
+		lo, hi := e[0], e[1]
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		at := adjStart[lo] + fill[lo]
+		adjVert[at], adjColor[at] = hi, oldColor[ei]
+		fill[lo]++
+	}
+	lookup := func(a, b int32) (int32, bool) {
+		if a > b {
+			a, b = b, a
+		}
+		for at := adjStart[a]; at < adjStart[a+1]; at++ {
+			if adjVert[at] == b {
+				return adjColor[at], true
+			}
+		}
+		return 0, false
+	}
+
+	// Per-vertex occupied-color sets: a bitmask for colors < 64 (the
+	// overwhelmingly common case) with a lazy spill map above that.
+	vcMask := make([]uint64, nv)
+	var vcExt map[int32][]int32
+	has := func(v int32, c int32) bool {
+		if c < 64 {
+			return vcMask[v]&(1<<uint(c)) != 0
+		}
+		for _, e := range vcExt[v] {
+			if e == c {
+				return true
+			}
+		}
+		return false
+	}
+	add := func(v int32, c int32) {
+		if c < 64 {
+			vcMask[v] |= 1 << uint(c)
+		} else {
+			if vcExt == nil {
+				vcExt = make(map[int32][]int32)
+			}
+			vcExt[v] = append(vcExt[v], c)
+		}
+	}
+
+	const none = int32(-1)
+	colorOf := make([]int32, len(edges))
+	reused := 0
+	maxColor := none
+	// Pass 1: surviving edges keep their old color. They are claimed
+	// before any greedy assignment so a new edge can never shadow an old
+	// color at a shared vertex.
+	for ei, e := range edges {
+		a, b := e[0], e[1]
+		if a < 0 || int(a) >= nv || b < 0 || int(b) >= nv {
+			return nil, 0, fmt.Errorf("color: edge %d (%d,%d) out of range [0,%d)", ei, a, b, nv)
+		}
+		if a == b {
+			return nil, 0, fmt.Errorf("color: edge %d is a self-loop at vertex %d", ei, a)
+		}
+		colorOf[ei] = none
+		if a <= maxOld && b <= maxOld {
+			if c, ok := lookup(a, b); ok {
+				colorOf[ei] = c
+				add(a, c)
+				add(b, c)
+				reused++
+				if c > maxColor {
+					maxColor = c
+				}
+			}
+		}
+	}
+	for ei, e := range edges {
+		if colorOf[ei] != none {
+			continue
+		}
+		a, b := e[0], e[1]
+		c := int32(0)
+		for has(a, c) || has(b, c) {
+			c++
+		}
+		colorOf[ei] = c
+		add(a, c)
+		add(b, c)
+		if c > maxColor {
+			maxColor = c
+		}
+	}
+
+	// Compact away colors left empty (a parent color whose every edge was
+	// split), so the engine never forks an empty group.
+	counts := make([]int32, maxColor+1)
+	for _, c := range colorOf {
+		counts[c]++
+	}
+	remap := make([]int32, maxColor+1)
+	nc := int32(0)
+	for c, n := range counts {
+		if n > 0 {
+			remap[c] = nc
+			nc++
+		}
+	}
+	start := make([]int32, nc+1)
+	for _, c := range colorOf {
+		start[remap[c]+1]++
+	}
+	for g := int32(0); g < nc; g++ {
+		start[g+1] += start[g]
+	}
+	order := make([]int32, len(edges))
+	gfill := make([]int32, nc)
+	for ei, c := range colorOf {
+		g := remap[c]
+		order[start[g]+gfill[g]] = int32(ei)
+		gfill[g]++
+	}
+	return &Coloring{Order: order, Start: start}, reused, nil
+}

@@ -1,0 +1,173 @@
+package color
+
+import (
+	"testing"
+
+	"eul3d/internal/meshgen"
+	"eul3d/internal/refine"
+)
+
+// refinedPair builds a channel mesh, colors it, selectively refines a
+// deterministic mark set, and returns (old mesh coloring, old edges, new
+// mesh) for extension tests.
+func refinedPair(t *testing.T) (*Coloring, [][2]int32, *refine.Refined) {
+	t.Helper()
+	m, err := meshgen.Channel(meshgen.ChannelSpec{NX: 5, NY: 3, NZ: 2, LX: 3, LY: 1, LZ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := Greedy(m.NV(), m.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := make([]bool, m.NT())
+	for i := 0; i < len(marked); i += 7 {
+		marked[i] = true
+	}
+	r, err := refine.Selective(m, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prev, m.Edges, r
+}
+
+func TestExtendGreedyValidAndReuses(t *testing.T) {
+	prev, prevEdges, r := refinedPair(t)
+	m := r.Mesh
+	c, reused, err := ExtendGreedy(m.NV(), m.Edges, prev, prevEdges)
+	if err != nil {
+		t.Fatalf("ExtendGreedy: %v", err)
+	}
+	if err := Verify(c, m.NV(), m.Edges); err != nil {
+		t.Fatalf("extended coloring invalid: %v", err)
+	}
+	if reused == 0 {
+		t.Fatal("no edges kept their previous color")
+	}
+	if reused > len(m.Edges) {
+		t.Fatalf("reused %d of %d edges", reused, len(m.Edges))
+	}
+	// Surviving edges (both endpoints below the old vertex count) must all
+	// have been reused: they existed in the parent mesh.
+	surviving := 0
+	for _, e := range m.Edges {
+		if int(e[0]) < r.NVOld && int(e[1]) < r.NVOld {
+			surviving++
+		}
+	}
+	if reused != surviving {
+		t.Fatalf("reused %d colors but %d edges survive", reused, surviving)
+	}
+}
+
+func TestExtendGreedyKeepsOldColors(t *testing.T) {
+	prev, prevEdges, r := refinedPair(t)
+	m := r.Mesh
+	c, _, err := ExtendGreedy(m.NV(), m.Edges, prev, prevEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldColor := make(map[[2]int32]int32)
+	for g := 0; g < prev.NumColors(); g++ {
+		for _, ei := range prev.Group(g) {
+			e := prevEdges[ei]
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			oldColor[e] = int32(g)
+		}
+	}
+	// Color indices may be compacted, but the partition must refine the old
+	// one on survivors: two surviving edges share a new color iff they
+	// shared an old one is too strong (compaction is monotone), so check
+	// the monotone renumbering directly.
+	newOfOld := make(map[int32]int32)
+	for g := 0; g < c.NumColors(); g++ {
+		for _, ei := range c.Group(g) {
+			e := m.Edges[ei]
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			oc, ok := oldColor[e]
+			if !ok {
+				continue
+			}
+			if prevG, seen := newOfOld[oc]; seen && prevG != int32(g) {
+				t.Fatalf("old color %d split across new colors %d and %d", oc, prevG, g)
+			}
+			newOfOld[oc] = int32(g)
+		}
+	}
+	if len(newOfOld) == 0 {
+		t.Fatal("no surviving edges found")
+	}
+}
+
+func TestExtendGreedyDeterministic(t *testing.T) {
+	prev, prevEdges, r := refinedPair(t)
+	m := r.Mesh
+	c1, r1, err := ExtendGreedy(m.NV(), m.Edges, prev, prevEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, r2, err := ExtendGreedy(m.NV(), m.Edges, prev, prevEdges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("reuse counts differ: %d vs %d", r1, r2)
+	}
+	if len(c1.Order) != len(c2.Order) || len(c1.Start) != len(c2.Start) {
+		t.Fatal("coloring shapes differ between identical calls")
+	}
+	for i := range c1.Order {
+		if c1.Order[i] != c2.Order[i] {
+			t.Fatalf("order[%d] differs", i)
+		}
+	}
+	for i := range c1.Start {
+		if c1.Start[i] != c2.Start[i] {
+			t.Fatalf("start[%d] differs", i)
+		}
+	}
+}
+
+func TestExtendGreedyNilPrevFallsBack(t *testing.T) {
+	m, err := meshgen.Channel(meshgen.ChannelSpec{NX: 3, NY: 2, NZ: 2, LX: 3, LY: 1, LZ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, reused, err := ExtendGreedy(m.NV(), m.Edges, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != 0 {
+		t.Fatalf("nil prev reused %d", reused)
+	}
+	if err := Verify(c, m.NV(), m.Edges); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Greedy(m.NV(), m.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumColors() != c.NumColors() {
+		t.Fatalf("fallback disagrees with Greedy: %d vs %d colors", c.NumColors(), g.NumColors())
+	}
+}
+
+func TestExtendGreedyRejectsBadInput(t *testing.T) {
+	prev, prevEdges, r := refinedPair(t)
+	m := r.Mesh
+	if _, _, err := ExtendGreedy(m.NV(), m.Edges, prev, prevEdges[:len(prevEdges)-1]); err == nil {
+		t.Fatal("mismatched prev coloring accepted")
+	}
+	bad := [][2]int32{{0, 0}}
+	if _, _, err := ExtendGreedy(m.NV(), bad, prev, prevEdges); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	bad = [][2]int32{{0, int32(m.NV())}}
+	if _, _, err := ExtendGreedy(m.NV(), bad, prev, prevEdges); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}

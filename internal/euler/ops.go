@@ -114,6 +114,99 @@ func degrees(m *mesh.Mesh) []int32 {
 	return deg
 }
 
+// growF64 returns a length-n float64 slice, reusing s's backing array when
+// it is large enough and otherwise allocating with 25% headroom so repeated
+// adaptation epochs amortize. Contents are unspecified beyond the old data.
+func growF64(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n, n+n/4)
+}
+
+func growState(s []State, n int) []State {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]State, n, n+n/4)
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]int32, n, n+n/4)
+}
+
+// Retarget points the discretization at a new (typically adaptively
+// refined) mesh, growing the scratch arrays in place where their capacity
+// allows. It is the cheap alternative to NewDisc between adaptation
+// epochs: no allocation happens when the mesh shrank or grew within the
+// reserve headroom. Scratch contents are recomputed by the next operator
+// call; only deg is rebuilt eagerly (SmoothResiduals reads it directly).
+func (d *Disc) Retarget(m *mesh.Mesh, p Params) {
+	d.M, d.P = m, p
+	nv := m.NV()
+	d.pres = growF64(d.pres, nv)
+	d.lam = growF64(d.lam, nv)
+	d.sensor = growF64(d.sensor, nv)
+	d.den = growF64(d.den, nv)
+	d.lapl = growState(d.lapl, nv)
+	d.smooth = growState(d.smooth, nv)
+	d.rhs = growState(d.rhs, nv)
+	d.rdiss = growState(d.rdiss, nv)
+	d.Dt = growF64(d.Dt, nv)
+	d.deg = growI32(d.deg, nv)
+	for i := range d.deg {
+		d.deg[i] = 0
+	}
+	for _, e := range m.Edges {
+		d.deg[e[0]]++
+		d.deg[e[1]]++
+	}
+}
+
+// MinStableDt returns the most restrictive vertex time step min_i V_i /
+// lambda_i of solution w on mesh m — the CFL=1 stability bound that
+// adaptive time stepping rescales GlobalDt against after each refinement
+// epoch. It runs sequentially in mesh order (a fixed adaptation schedule
+// must yield bitwise-identical steps at every worker count) and owns its
+// scratch, so it is safe to call on any mesh/solution pair without a Disc.
+func MinStableDt(m *mesh.Mesh, p Params, w []State) float64 {
+	nv := m.NV()
+	g := p.Gas
+	pres := make([]float64, nv)
+	lam := make([]float64, nv)
+	for i := 0; i < nv; i++ {
+		pres[i] = g.Pressure(w[i])
+	}
+	for e, ed := range m.Edges {
+		i, j := ed[0], ed[1]
+		lamE := SpectralRadius(g, w[i], w[j], pres[i], pres[j], m.EdgeNorm[e])
+		lam[i] += lamE
+		lam[j] += lamE
+	}
+	for bi := range m.BFaces {
+		f := &m.BFaces[bi]
+		n := f.Normal
+		for _, v := range f.V {
+			inv := 1 / w[v][0]
+			un := (w[v][1]*n.X + w[v][2]*n.Y + w[v][3]*n.Z) * inv
+			c := math.Sqrt(g.Gamma * pres[v] * inv)
+			lam[v] += (math.Abs(un) + c*n.Norm()) / 3
+		}
+	}
+	min := math.Inf(1)
+	for i := 0; i < nv; i++ {
+		if lam[i] > 0 {
+			if dt := m.Vol[i] / lam[i]; dt < min {
+				min = dt
+			}
+		}
+	}
+	return min
+}
+
 // computePressures fills d.pres from w.
 func (d *Disc) computePressures(w []State) {
 	g := d.P.Gas

@@ -12,18 +12,31 @@ package euler
 // layouts never perturbs results.
 type StateSoA struct {
 	Comp [NVar][]float64
+
+	backing []float64 // the single allocation the Comp slices view
 }
 
 // NewStateSoA allocates an SoA block for nv vertices.
 func NewStateSoA(nv int) *StateSoA {
 	s := &StateSoA{}
-	// One backing allocation keeps the five component arrays adjacent, so
-	// a full-state sweep walks one contiguous region.
-	backing := make([]float64, NVar*nv)
-	for k := 0; k < NVar; k++ {
-		s.Comp[k] = backing[k*nv : (k+1)*nv : (k+1)*nv]
-	}
+	s.Resize(nv)
 	return s
+}
+
+// Resize re-views the block for nv vertices, reallocating only when the
+// backing array is too small (with headroom, so repeated adaptation epochs
+// amortize). Contents are not preserved across a Resize.
+func (s *StateSoA) Resize(nv int) {
+	need := NVar * nv
+	if cap(s.backing) < need {
+		// One backing allocation keeps the five component arrays adjacent,
+		// so a full-state sweep walks one contiguous region.
+		s.backing = make([]float64, need, need+need/4)
+	}
+	b := s.backing[:need]
+	for k := 0; k < NVar; k++ {
+		s.Comp[k] = b[k*nv : (k+1)*nv : (k+1)*nv]
+	}
 }
 
 // Len returns the number of vertices.

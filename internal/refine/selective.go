@@ -1,0 +1,383 @@
+package refine
+
+import (
+	"fmt"
+
+	"eul3d/internal/geom"
+	"eul3d/internal/mesh"
+)
+
+// Selective refinement with a red-green conformity closure.
+//
+// Marked tetrahedra are refined regularly (red, 1:8, identical to Uniform).
+// Unmarked tetrahedra whose edges were split by red neighbors are cut by a
+// green template chosen from their global split-edge pattern; patterns no
+// green template covers promote the tet to red, and the promotion iterates
+// to a fixpoint (the split set only grows, so it terminates). Every face's
+// triangulation is a function of that face's own split edges plus one
+// deterministic diagonal rule, so the two tets sharing a face always agree
+// and the output mesh is conforming — mesh.Finish builds a closed dual.
+//
+// The alternative closure — re-refining marked neighbors red until
+// conformity — was rejected: with no irregular templates a single red tet
+// forces its edge-neighbors red, and on the compact meshes this solver
+// targets the cascade degenerates into uniform refinement.
+
+// localEdges orders a tet's six edges as vertex-index pairs; bit e of a
+// pattern mask below refers to localEdges[e].
+var localEdges = [6][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}
+
+// localFaces lists each tet face with the bitmask of its three edges.
+var localFaces = [4]struct {
+	v    [3]int
+	mask uint8
+}{
+	{[3]int{0, 1, 2}, 1<<0 | 1<<1 | 1<<3},
+	{[3]int{0, 1, 3}, 1<<0 | 1<<2 | 1<<4},
+	{[3]int{0, 2, 3}, 1<<1 | 1<<2 | 1<<5},
+	{[3]int{1, 2, 3}, 1<<3 | 1<<4 | 1<<5},
+}
+
+// greenOK marks the split-edge patterns the green templates cover: no split
+// edges, one split edge, two split edges (opposite or adjacent), or the
+// three edges of one face. Everything else promotes to red.
+var greenOK = func() (ok [64]bool) {
+	ok[0] = true
+	for e := 0; e < 6; e++ {
+		ok[1<<e] = true
+	}
+	for a := 0; a < 6; a++ {
+		for b := a + 1; b < 6; b++ {
+			ok[1<<a|1<<b] = true
+		}
+	}
+	for _, f := range localFaces {
+		ok[f.mask] = true
+	}
+	return
+}()
+
+// Refined is the result of a Selective call: the conforming refined mesh
+// plus the provenance needed to transfer a solution onto it. Vertices
+// [0,NVOld) are the parent vertices under their old indices; vertex
+// NVOld+k is the midpoint of parent edge MidParents[k].
+type Refined struct {
+	Mesh       *mesh.Mesh
+	NVOld      int
+	MidParents [][2]int32
+
+	Red    int // tets refined 1:8 (marked plus closure promotions)
+	Green  int // tets cut by a green template (1:2 .. 1:4)
+	Copied int // tets carried over unchanged
+}
+
+// Selective refines the marked tets of m red and closes the mesh back to
+// conformity with green templates, returning the refined mesh (finished)
+// and the transfer provenance. marked must have one entry per tet. With
+// nothing marked the result is a plain copy.
+func Selective(m *mesh.Mesh, marked []bool) (*Refined, error) {
+	if m == nil || m.NT() == 0 {
+		return nil, fmt.Errorf("refine: empty mesh")
+	}
+	if len(marked) != m.NT() {
+		return nil, fmt.Errorf("refine: %d marks for %d tets", len(marked), m.NT())
+	}
+
+	nv := int32(m.NV())
+	red := make([]bool, m.NT())
+	split := make(map[uint64]bool)
+	splitAll := func(tet [4]int32) {
+		for _, le := range localEdges {
+			split[edgeKey(tet[le[0]], tet[le[1]])] = true
+		}
+	}
+	for t, mk := range marked {
+		if mk {
+			red[t] = true
+			splitAll(m.Tets[t])
+		}
+	}
+	pattern := func(tet [4]int32) uint8 {
+		var p uint8
+		for e, le := range localEdges {
+			if split[edgeKey(tet[le[0]], tet[le[1]])] {
+				p |= 1 << e
+			}
+		}
+		return p
+	}
+
+	// Closure: promote tets whose pattern no green template covers. Each
+	// promotion only adds split edges, so the sweep reaches a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for t, tet := range m.Tets {
+			if red[t] || greenOK[pattern(tet)] {
+				continue
+			}
+			red[t] = true
+			splitAll(tet)
+			changed = true
+		}
+	}
+
+	// Midpoint ids in deterministic first-encounter order over the tets.
+	mt := &midpointTable{ids: make(map[uint64]int32, len(split)), next: nv}
+	for _, tet := range m.Tets {
+		for _, le := range localEdges {
+			a, b := tet[le[0]], tet[le[1]]
+			if split[edgeKey(a, b)] {
+				mt.id(a, b)
+			}
+		}
+	}
+
+	r := &Refined{NVOld: int(nv)}
+	out := &mesh.Mesh{Tets: make([][4]int32, 0, m.NT()+8*len(split)/6)}
+	for t, tet := range m.Tets {
+		if red[t] {
+			appendRedTets(out, m, mt, tet)
+			r.Red++
+			continue
+		}
+		switch p := pattern(tet); {
+		case p == 0:
+			out.Tets = append(out.Tets, tet)
+			r.Copied++
+		default:
+			appendGreenTets(out, mt, tet, p)
+			r.Green++
+		}
+	}
+
+	// Coordinates: parents then midpoints (indexed writes, so the map
+	// iteration order is immaterial), plus the transfer provenance.
+	out.X = make([]geom.Vec3, mt.next)
+	copy(out.X, m.X)
+	r.MidParents = make([][2]int32, mt.next-nv)
+	for k, id := range mt.ids {
+		a := int32(k >> 32)
+		b := int32(k & 0xffffffff)
+		out.X[id] = m.X[a].Add(m.X[b]).Scale(0.5)
+		r.MidParents[id-nv] = [2]int32{a, b}
+	}
+
+	// Orientation repair, exactly as in Uniform: the templates fix the
+	// topology, the sign is repaired per child.
+	for ti, tet := range out.Tets {
+		if geom.TetVolume(out.X[tet[0]], out.X[tet[1]], out.X[tet[2]], out.X[tet[3]]) < 0 {
+			out.Tets[ti][0], out.Tets[ti][1] = out.Tets[ti][1], out.Tets[ti][0]
+		}
+	}
+
+	out.BFaces = make([]mesh.BFace, 0, len(m.BFaces))
+	for _, f := range m.BFaces {
+		appendBFaceChildren(out, mt, split, f)
+	}
+
+	if err := out.Finish(); err != nil {
+		return nil, fmt.Errorf("refine: %w", err)
+	}
+	r.Mesh = out
+	return r, nil
+}
+
+// appendRedTets emits the regular 1:8 template (Uniform's): four corner
+// tets plus the interior octahedron cut along its shortest diagonal.
+func appendRedTets(out *mesh.Mesh, m *mesh.Mesh, mt *midpointTable, tet [4]int32) {
+	a, b, c, d := tet[0], tet[1], tet[2], tet[3]
+	ab, ac, ad := mt.id(a, b), mt.id(a, c), mt.id(a, d)
+	bc, bd, cd := mt.id(b, c), mt.id(b, d), mt.id(c, d)
+	out.Tets = append(out.Tets,
+		[4]int32{a, ab, ac, ad},
+		[4]int32{ab, b, bc, bd},
+		[4]int32{ac, bc, c, cd},
+		[4]int32{ad, bd, cd, d},
+	)
+	mid := func(p, q int32) geom.Vec3 { return m.X[p].Add(m.X[q]).Scale(0.5) }
+	dAB := mid(a, b).Sub(mid(c, d)).Norm()
+	dAC := mid(a, c).Sub(mid(b, d)).Norm()
+	dAD := mid(a, d).Sub(mid(b, c)).Norm()
+	var m1, m2 int32
+	var eq [4]int32
+	switch {
+	case dAB <= dAC && dAB <= dAD:
+		m1, m2, eq = ab, cd, [4]int32{ac, ad, bd, bc}
+	case dAC <= dAB && dAC <= dAD:
+		m1, m2, eq = ac, bd, [4]int32{ab, ad, cd, bc}
+	default:
+		m1, m2, eq = ad, bc, [4]int32{ab, ac, cd, bd}
+	}
+	for k := 0; k < 4; k++ {
+		out.Tets = append(out.Tets, [4]int32{m1, m2, eq[k], eq[(k+1)%4]})
+	}
+}
+
+// appendGreenTets emits the green template for a tet whose split-edge
+// pattern p is covered by greenOK (and nonzero).
+func appendGreenTets(out *mesh.Mesh, mt *midpointTable, tet [4]int32, p uint8) {
+	switch popcount6(p) {
+	case 1:
+		// Bisect across the one split edge.
+		e := firstBit(p)
+		a, b := tet[localEdges[e][0]], tet[localEdges[e][1]]
+		mab := mt.id(a, b)
+		c1, c2 := tet, tet
+		c1[localEdges[e][1]] = mab // a side keeps a
+		c2[localEdges[e][0]] = mab // b side keeps b
+		out.Tets = append(out.Tets, c1, c2)
+	case 2:
+		e1 := firstBit(p)
+		e2 := firstBit(p &^ (1 << e1))
+		l1, l2 := localEdges[e1], localEdges[e2]
+		if l1[0] != l2[0] && l1[0] != l2[1] && l1[1] != l2[0] && l1[1] != l2[1] {
+			// Opposite edges (pq) and (rs): two successive bisections.
+			pq0, pq1 := tet[l1[0]], tet[l1[1]]
+			rs0, rs1 := tet[l2[0]], tet[l2[1]]
+			mpq, mrs := mt.id(pq0, pq1), mt.id(rs0, rs1)
+			out.Tets = append(out.Tets,
+				[4]int32{pq0, mpq, rs0, mrs},
+				[4]int32{pq0, mpq, mrs, rs1},
+				[4]int32{mpq, pq1, rs0, mrs},
+				[4]int32{mpq, pq1, mrs, rs1},
+			)
+			return
+		}
+		// Adjacent edges (u,v) and (u,w): corner tet at u plus the quad
+		// pyramid under apex z, its diagonal fixed by quadDiag.
+		u, v, w := sharedVertex(tet, l1, l2)
+		z := tet[0] + tet[1] + tet[2] + tet[3] - u - v - w
+		appendQuadCone(out, mt, u, v, w, z)
+	case 3:
+		// Three edges of one face (u,v,w), apex z: quarter the face and
+		// cone each piece to z.
+		var fv [3]int32
+		for _, f := range localFaces {
+			if f.mask == p {
+				fv = [3]int32{tet[f.v[0]], tet[f.v[1]], tet[f.v[2]]}
+			}
+		}
+		u, v, w := fv[0], fv[1], fv[2]
+		z := tet[0] + tet[1] + tet[2] + tet[3] - u - v - w
+		muv, muw, mvw := mt.id(u, v), mt.id(u, w), mt.id(v, w)
+		out.Tets = append(out.Tets,
+			[4]int32{u, muv, muw, z},
+			[4]int32{muv, v, mvw, z},
+			[4]int32{muw, mvw, w, z},
+			[4]int32{muv, mvw, muw, z},
+		)
+	}
+}
+
+// sharedVertex resolves two adjacent local edges of tet into (u, v, w):
+// the shared vertex and the two free endpoints.
+func sharedVertex(tet [4]int32, l1, l2 [2]int) (u, v, w int32) {
+	switch {
+	case l1[0] == l2[0]:
+		return tet[l1[0]], tet[l1[1]], tet[l2[1]]
+	case l1[0] == l2[1]:
+		return tet[l1[0]], tet[l1[1]], tet[l2[0]]
+	case l1[1] == l2[0]:
+		return tet[l1[1]], tet[l1[0]], tet[l2[1]]
+	default:
+		return tet[l1[1]], tet[l1[0]], tet[l2[0]]
+	}
+}
+
+// quadDiag fixes the diagonal of the quad (m_uv, v, w, m_uw) left when a
+// face (u,v,w) has exactly its two u-edges split. The rule — cut from the
+// midpoint of (u, min(v,w)) to max(v,w) — depends only on global vertex
+// indices, so the two tets (or the tet and the boundary face) sharing the
+// face triangulate it identically.
+func quadDiag(u, v, w int32) (vmin, vmax int32) {
+	if v < w {
+		return v, w
+	}
+	return w, v
+}
+
+// appendQuadCone emits the 2-adjacent-edge template: corner tet at u plus
+// the quad pyramid under z, split by the quadDiag rule.
+func appendQuadCone(out *mesh.Mesh, mt *midpointTable, u, v, w, z int32) {
+	muv, muw := mt.id(u, v), mt.id(u, w)
+	out.Tets = append(out.Tets, [4]int32{u, muv, muw, z})
+	vmin, vmax := quadDiag(u, v, w)
+	mmin, mmax := mt.id(u, vmin), mt.id(u, vmax)
+	out.Tets = append(out.Tets,
+		[4]int32{mmin, vmin, vmax, z},
+		[4]int32{mmin, vmax, mmax, z},
+	)
+}
+
+// appendBFaceChildren splits one boundary triangle by its global split
+// edges, preserving the parent's winding (Finish derives the outward
+// normal from it) and inheriting the boundary kind.
+func appendBFaceChildren(out *mesh.Mesh, mt *midpointTable, split map[uint64]bool, f mesh.BFace) {
+	a, b, c := f.V[0], f.V[1], f.V[2]
+	sab := split[edgeKey(a, b)]
+	sbc := split[edgeKey(b, c)]
+	sca := split[edgeKey(c, a)]
+	emit := func(tris ...[3]int32) {
+		for _, tv := range tris {
+			out.BFaces = append(out.BFaces, mesh.BFace{V: tv, Kind: f.Kind})
+		}
+	}
+	ns := 0
+	for _, s := range []bool{sab, sbc, sca} {
+		if s {
+			ns++
+		}
+	}
+	switch ns {
+	case 0:
+		emit(f.V)
+	case 1:
+		// Rotate so the split edge is (a,b); bisect it.
+		switch {
+		case sbc:
+			a, b, c = b, c, a
+		case sca:
+			a, b, c = c, a, b
+		}
+		m := mt.id(a, b)
+		emit([3]int32{a, m, c}, [3]int32{m, b, c})
+	case 2:
+		// Rotate so the unsplit edge is (b,c); u=a is the shared vertex.
+		switch {
+		case !sab:
+			a, b, c = c, a, b
+		case !sca:
+			a, b, c = b, c, a
+		}
+		mab, mac := mt.id(a, b), mt.id(a, c)
+		emit([3]int32{a, mab, mac})
+		if vmin, _ := quadDiag(a, b, c); vmin == b {
+			// Diagonal (m_ab, c) on the quad (mab, b, c, mac).
+			emit([3]int32{mab, b, c}, [3]int32{mab, c, mac})
+		} else {
+			// Diagonal (b, m_ac).
+			emit([3]int32{mab, b, mac}, [3]int32{b, c, mac})
+		}
+	case 3:
+		mab, mbc, mca := mt.id(a, b), mt.id(b, c), mt.id(c, a)
+		emit([3]int32{a, mab, mca}, [3]int32{mab, b, mbc},
+			[3]int32{mca, mbc, c}, [3]int32{mab, mbc, mca})
+	}
+}
+
+func popcount6(p uint8) int {
+	n := 0
+	for ; p != 0; p &= p - 1 {
+		n++
+	}
+	return n
+}
+
+func firstBit(p uint8) int {
+	for e := 0; e < 6; e++ {
+		if p&(1<<e) != 0 {
+			return e
+		}
+	}
+	return -1
+}

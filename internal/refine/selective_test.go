@@ -1,0 +1,283 @@
+package refine
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"eul3d/internal/geom"
+	"eul3d/internal/mesh"
+	"eul3d/internal/meshgen"
+)
+
+func channelMesh(t *testing.T, nx, ny, nz int) *mesh.Mesh {
+	t.Helper()
+	m, err := meshgen.Channel(meshgen.ChannelSpec{NX: nx, NY: ny, NZ: nz, LX: 3, LY: 1, LZ: 1})
+	if err != nil {
+		t.Fatalf("meshgen: %v", err)
+	}
+	return m
+}
+
+func totalVolume(m *mesh.Mesh) float64 {
+	v := 0.0
+	for _, tet := range m.Tets {
+		v += math.Abs(geom.TetVolume(m.X[tet[0]], m.X[tet[1]], m.X[tet[2]], m.X[tet[3]]))
+	}
+	return v
+}
+
+// faceCounts tallies how many tets share each (sorted) vertex triple.
+func faceCounts(m *mesh.Mesh) map[[3]int32]int {
+	cnt := make(map[[3]int32]int)
+	for _, tet := range m.Tets {
+		for _, f := range [4][3]int{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}} {
+			key := [3]int32{tet[f[0]], tet[f[1]], tet[f[2]]}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			if key[1] > key[2] {
+				key[1], key[2] = key[2], key[1]
+			}
+			if key[0] > key[1] {
+				key[0], key[1] = key[1], key[0]
+			}
+			cnt[key]++
+		}
+	}
+	return cnt
+}
+
+// checkRefined asserts the structural properties selective refinement must
+// preserve: a valid closed dual, every face shared by at most two tets with
+// boundary faces claimed by exactly one, total volume, and boundary-kind
+// inheritance on the children.
+func checkRefined(t *testing.T, m *mesh.Mesh, r *Refined) {
+	t.Helper()
+	if err := r.Mesh.Validate(1e-9); err != nil {
+		t.Fatalf("refined mesh invalid: %v", err)
+	}
+	if got, want := totalVolume(r.Mesh), totalVolume(m); math.Abs(got-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("total volume changed: %.17g -> %.17g", want, got)
+	}
+	cnt := faceCounts(r.Mesh)
+	bf := make(map[[3]int32]mesh.BCKind, len(r.Mesh.BFaces))
+	for _, f := range r.Mesh.BFaces {
+		key := [3]int32{f.V[0], f.V[1], f.V[2]}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		if key[1] > key[2] {
+			key[1], key[2] = key[2], key[1]
+		}
+		if key[0] > key[1] {
+			key[0], key[1] = key[1], key[0]
+		}
+		bf[key] = f.Kind
+	}
+	for key, n := range cnt {
+		_, isB := bf[key]
+		switch {
+		case n > 2:
+			t.Fatalf("face %v shared by %d tets", key, n)
+		case n == 2 && isB:
+			t.Fatalf("boundary face %v shared by two tets", key)
+		case n == 1 && !isB:
+			t.Fatalf("interior face %v has one tet and no boundary record (hanging node)", key)
+		}
+	}
+	for key := range bf {
+		if cnt[key] != 1 {
+			t.Fatalf("boundary face %v belongs to %d tets", key, cnt[key])
+		}
+	}
+	// Children on the original boundary planes inherit the parent kind:
+	// every refined boundary face must sit on a plane some parent face of
+	// the same kind spanned. Cheap proxy: kinds present must match.
+	kinds := func(fs []mesh.BFace) map[mesh.BCKind]bool {
+		ks := make(map[mesh.BCKind]bool)
+		for _, f := range fs {
+			ks[f.Kind] = true
+		}
+		return ks
+	}
+	pk, ck := kinds(m.BFaces), kinds(r.Mesh.BFaces)
+	for k := range pk {
+		if !ck[k] {
+			t.Fatalf("boundary kind %v lost by refinement", k)
+		}
+	}
+	for k := range ck {
+		if !pk[k] {
+			t.Fatalf("boundary kind %v invented by refinement", k)
+		}
+	}
+}
+
+func TestSelectiveSingleMark(t *testing.T) {
+	m := channelMesh(t, 4, 3, 2)
+	marked := make([]bool, m.NT())
+	marked[7] = true
+	r, err := Selective(m, marked)
+	if err != nil {
+		t.Fatalf("Selective: %v", err)
+	}
+	if r.Red < 1 {
+		t.Fatalf("no red tets for one mark")
+	}
+	if r.Green == 0 {
+		t.Fatalf("no green closure around a red tet")
+	}
+	if r.Mesh.NT() <= m.NT() {
+		t.Fatalf("refinement did not grow the mesh: %d -> %d", m.NT(), r.Mesh.NT())
+	}
+	checkRefined(t, m, r)
+}
+
+func TestSelectiveNothingMarked(t *testing.T) {
+	m := channelMesh(t, 3, 2, 2)
+	r, err := Selective(m, make([]bool, m.NT()))
+	if err != nil {
+		t.Fatalf("Selective: %v", err)
+	}
+	if r.Copied != m.NT() || r.Red != 0 || r.Green != 0 {
+		t.Fatalf("expected pure copy, got red=%d green=%d copied=%d", r.Red, r.Green, r.Copied)
+	}
+	if r.Mesh.NT() != m.NT() || r.Mesh.NV() != m.NV() {
+		t.Fatalf("copy changed mesh size")
+	}
+	checkRefined(t, m, r)
+}
+
+func TestSelectiveAllMarkedMatchesUniform(t *testing.T) {
+	m := channelMesh(t, 3, 2, 2)
+	marked := make([]bool, m.NT())
+	for i := range marked {
+		marked[i] = true
+	}
+	r, err := Selective(m, marked)
+	if err != nil {
+		t.Fatalf("Selective: %v", err)
+	}
+	u, err := Uniform(m)
+	if err != nil {
+		t.Fatalf("Uniform: %v", err)
+	}
+	if r.Mesh.NT() != u.NT() || r.Mesh.NV() != u.NV() || len(r.Mesh.BFaces) != len(u.BFaces) {
+		t.Fatalf("all-marked Selective (%d tets, %d verts) != Uniform (%d tets, %d verts)",
+			r.Mesh.NT(), r.Mesh.NV(), u.NT(), u.NV())
+	}
+	checkRefined(t, m, r)
+}
+
+// TestSelectiveRandomMarksProperty is the conformity/volume property test:
+// random mark sets on several mesh shapes must always produce a valid,
+// volume-preserving, conforming mesh.
+func TestSelectiveRandomMarksProperty(t *testing.T) {
+	shapes := [][3]int{{4, 2, 2}, {3, 3, 3}, {6, 2, 1}}
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range shapes {
+		m := channelMesh(t, sh[0], sh[1], sh[2])
+		for trial := 0; trial < 8; trial++ {
+			marked := make([]bool, m.NT())
+			frac := 0.02 + 0.3*rng.Float64()
+			for i := range marked {
+				marked[i] = rng.Float64() < frac
+			}
+			r, err := Selective(m, marked)
+			if err != nil {
+				t.Fatalf("shape %v trial %d: %v", sh, trial, err)
+			}
+			checkRefined(t, m, r)
+			if got := len(r.MidParents) + r.NVOld; got != r.Mesh.NV() {
+				t.Fatalf("provenance covers %d vertices, mesh has %d", got, r.Mesh.NV())
+			}
+			for k, pr := range r.MidParents {
+				a, b := pr[0], pr[1]
+				if a < 0 || b < 0 || int(a) >= r.NVOld || int(b) >= r.NVOld || a == b {
+					t.Fatalf("midpoint %d has bad parents (%d,%d)", k, a, b)
+				}
+				want := m.X[a].Add(m.X[b]).Scale(0.5)
+				if got := r.Mesh.X[r.NVOld+k]; got != want {
+					t.Fatalf("midpoint %d not at parent-edge midpoint", k)
+				}
+			}
+		}
+	}
+}
+
+func TestSelectiveDeterministic(t *testing.T) {
+	m := channelMesh(t, 4, 3, 2)
+	marked := make([]bool, m.NT())
+	for i := 0; i < len(marked); i += 5 {
+		marked[i] = true
+	}
+	r1, err := Selective(m, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Selective(m, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Mesh.NT() != r2.Mesh.NT() || r1.Mesh.NV() != r2.Mesh.NV() {
+		t.Fatalf("nondeterministic sizes")
+	}
+	for i := range r1.Mesh.Tets {
+		if r1.Mesh.Tets[i] != r2.Mesh.Tets[i] {
+			t.Fatalf("tet %d differs between identical calls", i)
+		}
+	}
+	for i := range r1.Mesh.X {
+		if r1.Mesh.X[i] != r2.Mesh.X[i] {
+			t.Fatalf("vertex %d differs between identical calls", i)
+		}
+	}
+}
+
+func TestSelectiveRejectsDegenerateInputs(t *testing.T) {
+	if _, err := Selective(nil, nil); err == nil {
+		t.Fatal("nil mesh accepted")
+	}
+	if _, err := Selective(&mesh.Mesh{}, nil); err == nil {
+		t.Fatal("empty mesh accepted")
+	}
+	m := channelMesh(t, 2, 2, 2)
+	if _, err := Selective(m, make([]bool, m.NT()-1)); err == nil {
+		t.Fatal("short mark slice accepted")
+	}
+	if _, err := Selective(m, make([]bool, m.NT()+3)); err == nil {
+		t.Fatal("long mark slice accepted")
+	}
+}
+
+// FuzzMidpointTable fuzzes the midpoint id allocator: ids must be stable,
+// symmetric, dense from the base, and distinct per undirected edge.
+func FuzzMidpointTable(f *testing.F) {
+	f.Add(int32(0), int32(1), int32(2), int32(3))
+	f.Add(int32(5), int32(5), int32(0), int32(7))
+	f.Add(int32(1<<30), int32(3), int32(-4), int32(2))
+	f.Fuzz(func(t *testing.T, a, b, c, d int32) {
+		base := int32(100)
+		mt := &midpointTable{ids: make(map[uint64]int32), next: base}
+		id1 := mt.id(a, b)
+		if id2 := mt.id(b, a); id2 != id1 {
+			t.Fatalf("id(%d,%d)=%d but id(%d,%d)=%d", a, b, id1, b, a, id2)
+		}
+		id3 := mt.id(c, d)
+		if (edgeKey(a, b) == edgeKey(c, d)) != (id3 == id1) {
+			t.Fatalf("distinctness violated: (%d,%d)->%d, (%d,%d)->%d", a, b, id1, c, d, id3)
+		}
+		if mt.id(a, b) != id1 || mt.id(c, d) != id3 {
+			t.Fatalf("ids not stable on re-query")
+		}
+		if int(mt.next)-int(base) != len(mt.ids) {
+			t.Fatalf("allocator skipped ids: next=%d base=%d count=%d", mt.next, base, len(mt.ids))
+		}
+		for _, id := range []int32{id1, id3} {
+			if id < base || id >= mt.next {
+				t.Fatalf("id %d outside [%d,%d)", id, base, mt.next)
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"runtime"
 	"testing"
 
 	"eul3d/internal/euler"
@@ -107,7 +108,18 @@ func TestScenarioStepAllocs(t *testing.T) {
 			defer s.Close()
 			w := sc.InitialState(cm)
 			s.Step(w, nil) // the first step is the limiter-heavy one; warm it up
-			if allocs := testing.AllocsPerRun(5, func() { s.Step(w, nil) }); allocs != 0 {
+			// GC before measuring (and retry once) so an unrelated
+			// collection cycle inside AllocsPerRun's short window is not
+			// attributed to the step path; a genuine per-step allocation
+			// shows up on every attempt.
+			var allocs float64
+			for attempt := 0; attempt < 2; attempt++ {
+				runtime.GC()
+				if allocs = testing.AllocsPerRun(5, func() { s.Step(w, nil) }); allocs == 0 {
+					break
+				}
+			}
+			if allocs != 0 {
 				t.Fatalf("limited SoA step path allocates %v times per run", allocs)
 			}
 		})

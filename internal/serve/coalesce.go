@@ -145,6 +145,7 @@ func (s *Scheduler) fanout(f *flight, j *Job) {
 	res, errMsg, diag := l.result, l.errMsg, l.diag
 	key, keySet := l.key, l.keySet
 	resultHash := l.resultHash
+	adaptEpochs := l.adaptEpochs
 	l.mu.Unlock()
 	j.mu.Lock()
 	j.state = state
@@ -154,6 +155,7 @@ func (s *Scheduler) fanout(f *flight, j *Job) {
 	j.diag = diag
 	j.key, j.keySet = key, keySet
 	j.resultHash = resultHash
+	j.adaptEpochs = adaptEpochs
 	j.mu.Unlock()
 	s.met.CoalesceFanout.Add(1)
 	if s.trc != nil {

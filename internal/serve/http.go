@@ -353,6 +353,9 @@ func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("eul3dd_engine_evictions_total", m.Evictions.Load(), "engines closed by LRU eviction")
 	gauge("eul3dd_engine_cache_hit_rate", fmt.Sprintf("%.4f", m.HitRate()), "cache hit fraction")
 	gauge("eul3dd_engine_cache_size", a.s.Cache().Len(), "engines resident in the cache")
+	counter("eul3dd_adapt_epochs_total", m.AdaptEpochs.Load(), "adaptation epochs run across adaptive jobs")
+	counter("eul3dd_adapt_cells_refined_total", m.AdaptCells.Load(), "cells added by adaptive refinement")
+	counter("eul3dd_adapt_rebuild_ns_total", m.AdaptRebuildNS.Load(), "nanoseconds spent in incremental engine rebuilds")
 	art := a.s.Store()
 	as := art.Stats()
 	counter("eul3dd_artifact_hits_total", as.Hits, "artifact store reads served")

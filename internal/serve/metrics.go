@@ -28,6 +28,10 @@ type Metrics struct {
 	Builds      atomic.Int64 // engine constructions actually performed
 	Evictions   atomic.Int64 // engines closed by LRU eviction
 
+	AdaptEpochs    atomic.Int64 // adaptation epochs run across adaptive jobs
+	AdaptCells     atomic.Int64 // cells added by adaptive refinement
+	AdaptRebuildNS atomic.Int64 // nanoseconds spent in incremental engine rebuilds
+
 	// Latency histograms, rendered as Prometheus histogram series by the
 	// metrics endpoint. QueueWait is admission to dispatch; RunTime is the
 	// solver run alone (queue, governor and engine-acquire time excluded).

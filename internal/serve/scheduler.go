@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"eul3d/internal/adapt"
 	"eul3d/internal/euler"
 	"eul3d/internal/meshio"
 	"eul3d/internal/scenario"
@@ -74,6 +75,9 @@ type Job struct {
 	done   chan struct{} // closed when the job leaves the queue/runner for good
 	resume *meshio.Checkpoint
 
+	adaptResume *adapt.Snapshot   // adaptive jobs: mesh-carrying resume point
+	adaptEpochs []adapt.EpochStat // adaptive jobs: per-epoch record after the run
+
 	resultHash    string  // store key of the encoded result solution
 	flight        *flight // non-nil on a coalescing leader
 	coalescedWith string  // waiters: the leader's job ID
@@ -110,6 +114,10 @@ type JobView struct {
 	// Diagnostics is present on completed scenario jobs: the preset's
 	// physics record (L1 error vs the analytic reference, field ranges).
 	Diagnostics *scenario.Diagnostics `json:"diagnostics,omitempty"`
+
+	// AdaptEpochs is present on finished adaptive jobs: one record per
+	// adaptation epoch (cells refined, colors reused, rebuild time).
+	AdaptEpochs []adapt.EpochStat `json:"adapt_epochs,omitempty"`
 }
 
 // View snapshots the job.
@@ -140,6 +148,7 @@ func (j *Job) View() JobView {
 		v.Orders = r.Ordersof10
 	}
 	v.Diagnostics = j.diag
+	v.AdaptEpochs = append([]adapt.EpochStat(nil), j.adaptEpochs...)
 	return v
 }
 
@@ -560,6 +569,14 @@ func (s *Scheduler) dispatch(j *Job) {
 		ctx = dctx
 	}
 
+	if j.Spec.Adapt != nil {
+		// Adaptive jobs take their own path: the mesh mutates mid-run, so
+		// they bypass the engine cache and carry a mesh in their resume
+		// state instead of a plain checkpoint.
+		s.runAdapt(j, ctx, tk)
+		return
+	}
+
 	if h := j.Spec.Mesh.Hash; h != "" {
 		// Pin the mesh artifact while the job runs: eviction pressure
 		// must not drop the bytes an in-flight solve references.
@@ -802,6 +819,21 @@ type sidecar struct {
 	ID         string  `json:"id"`
 	Spec       JobSpec `json:"spec"`
 	Checkpoint string  `json:"checkpoint,omitempty"` // file name within StateDir
+
+	// Adaptive jobs additionally persist the current (refined) mesh and
+	// the adaptation counters — a plain checkpoint cannot resume a run
+	// whose mesh no longer matches the spec's.
+	AdaptMesh string        `json:"adapt_mesh,omitempty"` // mesh file name within StateDir
+	Adapt     *adaptSidecar `json:"adapt,omitempty"`
+}
+
+// adaptSidecar is the adaptation state carried alongside the checkpoint.
+type adaptSidecar struct {
+	EpochsDone   int     `json:"epochs_done"`
+	Dt           float64 `json:"dt,omitempty"` // current global dt (0 on steady runs)
+	StepsLeft    int     `json:"steps_left"`
+	SinceEpoch   int     `json:"since_epoch"`
+	CellsRefined int     `json:"cells_refined"`
 }
 
 func (s *Scheduler) sidecarPath(id string) string {
@@ -810,6 +842,9 @@ func (s *Scheduler) sidecarPath(id string) string {
 func (s *Scheduler) ckptPath(id string) string {
 	return filepath.Join(s.cfg.StateDir, id+".ckpt")
 }
+func (s *Scheduler) ameshPath(id string) string {
+	return filepath.Join(s.cfg.StateDir, id+".amesh")
+}
 
 func (s *Scheduler) removeStateFiles(id string) {
 	if s.cfg.StateDir == "" {
@@ -817,6 +852,7 @@ func (s *Scheduler) removeStateFiles(id string) {
 	}
 	os.Remove(s.sidecarPath(id))
 	os.Remove(s.ckptPath(id))
+	os.Remove(s.ameshPath(id))
 }
 
 // drainCheckpoint persists an interrupted job so a restarted server can
@@ -1002,6 +1038,28 @@ func (s *Scheduler) Recover() (int, error) {
 				s.cfg.Log.Printf("recover: job %s checkpoint: %v (restarting from scratch)", sc.ID, err)
 			} else {
 				j.resume = ck
+			}
+		}
+		if sc.AdaptMesh != "" && sc.Adapt != nil && j.resume != nil {
+			// Reconstruct the mesh-carrying resume point of an adaptive job.
+			// A load failure falls back to restarting the job from scratch.
+			m, err := meshio.LoadMesh(filepath.Join(s.cfg.StateDir, sc.AdaptMesh))
+			if err != nil {
+				s.cfg.Log.Printf("recover: job %s adapted mesh: %v (restarting from scratch)", sc.ID, err)
+				j.resume = nil
+			} else {
+				j.adaptResume = &adapt.Snapshot{
+					Mesh:         m,
+					W:            j.resume.Sol,
+					History:      j.resume.History,
+					Step:         j.resume.Cycle,
+					EpochsDone:   sc.Adapt.EpochsDone,
+					Dt:           sc.Adapt.Dt,
+					StepsLeft:    sc.Adapt.StepsLeft,
+					SinceEpoch:   sc.Adapt.SinceEpoch,
+					CellsRefined: sc.Adapt.CellsRefined,
+				}
+				j.resume = nil
 			}
 		}
 		if err := j.Spec.Validate(); err != nil {

@@ -24,6 +24,7 @@ import (
 	"hash"
 	"math"
 
+	"eul3d/internal/adapt"
 	"eul3d/internal/euler"
 	"eul3d/internal/mesh"
 	"eul3d/internal/meshgen"
@@ -77,8 +78,25 @@ type JobSpec struct {
 	Cycles int     `json:"cycles"`        // MaxCycles for the run
 	Tol    float64 `json:"tol,omitempty"` // relative residual tolerance (0 = run all cycles)
 
+	// Adapt, when set, makes the job an adaptive solve (internal/adapt):
+	// the mesh is refined where the error indicator concentrates and the
+	// engine rebuilt incrementally between epochs. Adaptive jobs bypass
+	// the engine cache — their mesh mutates mid-run, so a cached engine
+	// could never be shared — and require a single-grid engine.
+	Adapt *AdaptSpec `json:"adapt,omitempty"`
+
 	Priority   int   `json:"priority,omitempty"`    // higher runs first; FIFO within a priority
 	DeadlineMS int64 `json:"deadline_ms,omitempty"` // wall-clock budget from submission (0 = none)
+}
+
+// AdaptSpec configures the adaptation schedule of an adaptive job. The
+// zero value of each field selects the internal/adapt default.
+type AdaptSpec struct {
+	Budget    int     `json:"budget,omitempty"`    // cell budget (0 = 4x the starting count)
+	Interval  int     `json:"interval,omitempty"`  // steps between epochs (default 50)
+	Epochs    int     `json:"epochs,omitempty"`    // refinement epochs allowed (default 2)
+	Indicator string  `json:"indicator,omitempty"` // density | pressure | residual (default density)
+	Frac      float64 `json:"frac,omitempty"`      // fraction of cells marked per epoch (default 0.1)
 }
 
 // MaxCyclesLimit caps per-job cycle counts so one request cannot occupy a
@@ -149,6 +167,38 @@ func (s *JobSpec) Validate() error {
 		}
 	default:
 		s.Levels, s.Cycle = 1, ""
+	}
+	if a := s.Adapt; a != nil {
+		if s.Engine != KindSingle && s.Engine != KindSM {
+			return fmt.Errorf("serve: adaptation requires a single-grid engine (single or sm), not %q", s.Engine)
+		}
+		if a.Interval == 0 {
+			a.Interval = 50
+		}
+		if a.Interval < 1 {
+			return fmt.Errorf("serve: adapt interval %d must be positive", a.Interval)
+		}
+		if a.Epochs == 0 {
+			a.Epochs = 2
+		}
+		if a.Epochs < 1 || a.Epochs > 16 {
+			return fmt.Errorf("serve: adapt epochs %d out of range [1,16]", a.Epochs)
+		}
+		if a.Frac == 0 {
+			a.Frac = 0.1
+		}
+		if !(a.Frac > 0 && a.Frac <= 0.5) {
+			return fmt.Errorf("serve: adapt frac %g out of range (0,0.5]", a.Frac)
+		}
+		if a.Indicator == "" {
+			a.Indicator = "density"
+		}
+		if !adapt.ValidIndicator(a.Indicator) {
+			return fmt.Errorf("serve: unknown adapt indicator %q (want density, pressure or residual)", a.Indicator)
+		}
+		if a.Budget < 0 {
+			return fmt.Errorf("serve: negative adapt cell budget %d", a.Budget)
+		}
 	}
 	if s.Mesh.Hash != "" {
 		if !store.ValidHash(s.Mesh.Hash) {
@@ -280,6 +330,12 @@ func (s *JobSpec) SpecHash() string {
 	fmt.Fprintf(h, "scenario=%s|mesh=%s/%s/%d/%d/%d/%d|mach=%x|alpha=%x|engine=%s|workers=%d|levels=%d|cycle=%s|cycles=%d|tol=%x",
 		s.Scenario, s.Mesh.Hash, s.Mesh.Path, s.Mesh.NX, s.Mesh.NY, s.Mesh.NZ, s.Mesh.Seed,
 		s.Mach, s.AlphaDeg, s.Engine, s.Workers, s.Levels, s.Cycle, s.Cycles, s.Tol)
+	if a := s.Adapt; a != nil {
+		// The adaptation schedule determines the result (refined mesh and
+		// all); folded in only when present so non-adaptive hashes are
+		// unchanged from earlier releases.
+		fmt.Fprintf(h, "|adapt=%d/%d/%d/%s/%x", a.Budget, a.Interval, a.Epochs, a.Indicator, a.Frac)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 

@@ -1,0 +1,92 @@
+package smsolver
+
+import (
+	"fmt"
+
+	"eul3d/internal/color"
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+)
+
+// Rebuild retargets the solver at a new mesh — in practice one produced by
+// selective refinement of the current mesh — without tearing the engine
+// down. It is the incremental path the adaptation driver takes between
+// epochs, and it is cheap where a fresh NewColored is not:
+//
+//   - The edge coloring is extended (color.ExtendGreedy), not recomputed:
+//     every surviving edge keeps its old color and only edges touching a
+//     new midpoint vertex pay the greedy search. The extension depends only
+//     on the meshes and the previous coloring, so rebuilt engines stay
+//     bitwise deterministic across worker counts.
+//   - The parked worker pool is untouched: no goroutines are spawned or
+//     joined, and the engine's perf accumulator keeps accumulating.
+//   - The discretization scratch, SoA blocks, residual array and norm
+//     partials grow in place when capacity (reserved with 25% headroom)
+//     allows; after the first epoch or two of an adaptation run these are
+//     pure re-slices.
+//   - No coloring verification pass runs — ExtendGreedy's output is
+//     correct by construction (unit-tested), unlike caller-provided
+//     colorings in NewColored.
+//
+// Only the boundary-face coloring and the chunk tables are rebuilt from
+// scratch; both are linear in the mesh. Rebuild returns the number of
+// edges that kept their previous color. On error the solver is unchanged
+// and still valid on its old mesh.
+func (s *Solver) Rebuild(m *mesh.Mesh, p euler.Params) (reusedColors int, err error) {
+	le := s.le
+	old := le.d.M
+	ec, reused, err := color.ExtendGreedy(m.NV(), m.Edges, le.edgeColors, old.Edges)
+	if err != nil {
+		return 0, fmt.Errorf("smsolver: rebuild edge coloring: %w", err)
+	}
+	faces := make([][3]int32, len(m.BFaces))
+	for i := range m.BFaces {
+		faces[i] = m.BFaces[i].V
+	}
+	fc, err := color.GreedyFaces(m.NV(), faces)
+	if err != nil {
+		return 0, fmt.Errorf("smsolver: rebuild face coloring: %w", err)
+	}
+
+	// Past this point nothing can fail: mutate the level engine in place.
+	le.d.Retarget(m, p)
+	le.edgeColors, le.faceColors = ec, fc
+
+	nv := m.NV()
+	le.wS.Resize(nv)
+	le.w0S.Resize(nv)
+	le.convS.Resize(nv)
+	le.dissS.Resize(nv)
+	le.resS.Resize(nv)
+	le.laplS.Resize(nv)
+	le.smoothS.Resize(nv)
+	le.rhsS.Resize(nv)
+	// Resize preserves no contents; the accumulators among these are zeroed
+	// by the fused stage sweeps before every read, but clear them anyway so
+	// a rebuild never leaks state from the previous mesh.
+	for _, b := range []*euler.StateSoA{le.wS, le.w0S, le.convS, le.dissS, le.resS, le.laplS, le.smoothS, le.rhsS} {
+		b.ZeroRange(0, nv)
+	}
+	if cap(le.res) < nv {
+		le.res = make([]euler.State, nv, nv+nv/4)
+	} else {
+		le.res = le.res[:nv]
+	}
+	nb := (nv + normBlock - 1) / normBlock
+	if cap(le.normPartial) < nb {
+		le.normPartial = make([]normSlot, nb, nb+nb/4)
+	} else {
+		le.normPartial = le.normPartial[:nb]
+	}
+
+	spanW := s.NWorkers
+	if m.NE() < SerialCutoffEdges {
+		spanW = 1
+	}
+	le.vertSpans, le.vertActive = buildSpans(nv, spanW)
+	le.normSpans, le.normActive = buildSpans(nb, spanW)
+	le.edgeSpans, le.edgeActive = colorSpans(ec, spanW)
+	le.faceSpans, le.faceActive = colorSpans(fc, spanW)
+	le.chargeFlops()
+	return reused, nil
+}

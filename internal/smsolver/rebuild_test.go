@@ -1,0 +1,260 @@
+package smsolver
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"eul3d/internal/color"
+	"eul3d/internal/euler"
+	"eul3d/internal/mesh"
+	"eul3d/internal/meshgen"
+	"eul3d/internal/refine"
+)
+
+// refinedCase builds a channel mesh, steps a solution a little away from
+// freestream, selectively refines a fixed mark set, and transfers the
+// solution (survivors keep their state, midpoints average their parents).
+func refinedCase(t *testing.T, p euler.Params) (m0 *mesh.Mesh, r *refine.Refined, w []euler.State) {
+	t.Helper()
+	var err error
+	m0, err = meshgen.Channel(meshgen.ChannelSpec{NX: 5, NY: 3, NZ: 2, LX: 3, LY: 1, LZ: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := euler.NewDisc(m0, p)
+	w0 := make([]euler.State, m0.NV())
+	d.InitUniform(w0)
+	ws := euler.NewStepWorkspace(m0.NV())
+	for i := 0; i < 3; i++ {
+		d.Step(w0, nil, ws)
+	}
+	marked := make([]bool, m0.NT())
+	for i := 0; i < len(marked); i += 6 {
+		marked[i] = true
+	}
+	r, err = refine.Selective(m0, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w = make([]euler.State, r.Mesh.NV())
+	copy(w, w0)
+	for k, pr := range r.MidParents {
+		var st euler.State
+		for c := 0; c < euler.NVar; c++ {
+			st[c] = 0.5 * (w0[pr[0]][c] + w0[pr[1]][c])
+		}
+		w[r.NVOld+k] = p.Repair(st)
+	}
+	return m0, r, w
+}
+
+func stepsBitwise(t *testing.T, label string, a, b []euler.State, na, nb float64) {
+	t.Helper()
+	if na != nb {
+		t.Fatalf("%s: norms differ: %.17g vs %.17g", label, na, nb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: vertex %d differs", label, i)
+		}
+	}
+}
+
+// TestRebuildMatchesFresh asserts a rebuilt engine is bitwise identical to
+// a freshly constructed one using the same (extended) colorings.
+func TestRebuildMatchesFresh(t *testing.T) {
+	old := SerialCutoffEdges
+	SerialCutoffEdges = 0
+	defer func() { SerialCutoffEdges = old }()
+
+	p := euler.DefaultParams(0.5, 0)
+	m0, r, w := refinedCase(t, p)
+
+	s, err := New(m0, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reused, err := s.Rebuild(r.Mesh, p)
+	if err != nil {
+		t.Fatalf("Rebuild: %v", err)
+	}
+	if reused == 0 {
+		t.Fatal("rebuild reused no edge colors")
+	}
+
+	ec, _, err := color.ExtendGreedy(r.Mesh.NV(), r.Mesh.Edges, mustGreedy(t, m0), m0.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewColored(r.Mesh, p, 2, ec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresh.Close()
+
+	wA := append([]euler.State(nil), w...)
+	wB := append([]euler.State(nil), w...)
+	for i := 0; i < 3; i++ {
+		na := s.Step(wA, nil)
+		nb := fresh.Step(wB, nil)
+		stepsBitwise(t, "rebuilt vs fresh", wA, wB, na, nb)
+	}
+}
+
+func mustGreedy(t *testing.T, m *mesh.Mesh) *color.Coloring {
+	t.Helper()
+	c, err := color.Greedy(m.NV(), m.Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestRebuildWorkerDeterminism asserts rebuilt engines give bitwise
+// identical results at every pooled worker count: ExtendGreedy depends
+// only on the meshes, and chunking never changes per-vertex accumulation
+// order within a color.
+func TestRebuildWorkerDeterminism(t *testing.T) {
+	old := SerialCutoffEdges
+	SerialCutoffEdges = 0
+	defer func() { SerialCutoffEdges = old }()
+
+	p := euler.DefaultParams(0.5, 0)
+	m0, r, w := refinedCase(t, p)
+
+	var ref []euler.State
+	var refNorms []float64
+	for _, nw := range []int{1, 2, 4} {
+		s, err := New(m0, p, nw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Rebuild(r.Mesh, p); err != nil {
+			t.Fatal(err)
+		}
+		wk := append([]euler.State(nil), w...)
+		var norms []float64
+		for i := 0; i < 3; i++ {
+			norms = append(norms, s.Step(wk, nil))
+		}
+		s.Close()
+		if ref == nil {
+			ref, refNorms = wk, norms
+			continue
+		}
+		for i := range norms {
+			if norms[i] != refNorms[i] {
+				t.Fatalf("nw=%d: step %d norm differs", nw, i)
+			}
+		}
+		for i := range wk {
+			if wk[i] != ref[i] {
+				t.Fatalf("nw=%d: vertex %d differs", nw, i)
+			}
+		}
+	}
+}
+
+// TestRebuildGrowsAcrossEpochs drives two successive refinement epochs
+// through one solver, checking the in-place growth path (the second epoch
+// reuses first-epoch capacity where it can).
+func TestRebuildGrowsAcrossEpochs(t *testing.T) {
+	p := euler.DefaultParams(0.5, 0)
+	m0, r1, w1 := refinedCase(t, p)
+
+	s, err := New(m0, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Rebuild(r1.Mesh, p); err != nil {
+		t.Fatal(err)
+	}
+	s.Step(w1, nil)
+
+	marked := make([]bool, r1.Mesh.NT())
+	for i := 0; i < len(marked); i += 9 {
+		marked[i] = true
+	}
+	r2, err := refine.Selective(r1.Mesh, marked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := make([]euler.State, r2.Mesh.NV())
+	copy(w2, w1)
+	for k, pr := range r2.MidParents {
+		var st euler.State
+		for c := 0; c < euler.NVar; c++ {
+			st[c] = 0.5 * (w1[pr[0]][c] + w1[pr[1]][c])
+		}
+		w2[r2.NVOld+k] = p.Repair(st)
+	}
+	reused, err := s.Rebuild(r2.Mesh, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused == 0 {
+		t.Fatal("second rebuild reused nothing")
+	}
+	if n := s.Step(w2, nil); n <= 0 {
+		t.Fatalf("step on twice-refined mesh returned norm %g", n)
+	}
+}
+
+// TestIncrementalRebuildCheaper is the acceptance measurement: the
+// steady-state incremental rebuild must avoid nearly all of the
+// from-scratch work — greedy recoloring scratch, chunk tables, SoA
+// arrays, pool spawn. The assertion is on allocated bytes, which that
+// avoided work dominates and which don't wobble with machine load;
+// wall-clock is logged for the curious but not asserted, because the
+// timing of two sub-millisecond paths on a loaded single-CPU box (or
+// under the race detector) is noise.
+func TestIncrementalRebuildCheaper(t *testing.T) {
+	p := euler.DefaultParams(0.5, 0)
+	m0, r, _ := refinedCase(t, p)
+
+	s, err := New(m0, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Rebuild(r.Mesh, p); err != nil {
+		t.Fatal(err)
+	}
+
+	bytesPer := func(f func()) (uint64, time.Duration) {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		t0 := time.Now()
+		const runs = 5
+		for i := 0; i < runs; i++ {
+			f()
+		}
+		d := time.Since(t0) / runs
+		runtime.ReadMemStats(&after)
+		return (after.TotalAlloc - before.TotalAlloc) / runs, d
+	}
+	// After the first rebuild the capacities fit, so repeated rebuilds
+	// exercise the steady-state incremental path.
+	inc, incT := bytesPer(func() {
+		if _, err := s.Rebuild(r.Mesh, p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	scratch, scratchT := bytesPer(func() {
+		f, err := New(r.Mesh, p, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	})
+	t.Logf("incremental rebuild: %d bytes, %v; from-scratch build: %d bytes, %v",
+		inc, incT, scratch, scratchT)
+	if inc*2 >= scratch {
+		t.Fatalf("incremental rebuild allocates %d bytes, from-scratch %d — rebuild is not reusing the engine's memory",
+			inc, scratch)
+	}
+}

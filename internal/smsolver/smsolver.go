@@ -225,9 +225,17 @@ func newLevelEngine(m *mesh.Mesh, p euler.Params, nworkers int, ec, fc *color.Co
 	le.normSpans, le.normActive = buildSpans(nb, spanW)
 	le.edgeSpans, le.edgeActive = colorSpans(ec, spanW)
 	le.faceSpans, le.faceActive = colorSpans(fc, spanW)
+	le.chargeFlops()
+	return le, nil
+}
 
+// chargeFlops recomputes the analytic per-phase flop charges from the
+// level's current mesh and parameters (called at build time and again by
+// Rebuild after an adaptation epoch changes the mesh).
+func (le *levelEngine) chargeFlops() {
+	m, p := le.d.M, le.d.P
 	ne, nbf := int64(m.NE()), int64(len(m.BFaces))
-	nv64 := int64(nv)
+	nv64 := int64(m.NV())
 	le.flTimestep = nv64*flops.PresVert + ne*flops.DtEdge + nbf*flops.DtBFace + nv64*flops.DtVertex
 	le.flConv = ne*flops.ConvEdge + nbf*flops.ConvBFace
 	le.flDiss = ne*(flops.Diss1Edge+flops.Diss2Edge) + nv64*flops.NuVert
@@ -235,7 +243,6 @@ func newLevelEngine(m *mesh.Mesh, p euler.Params, nworkers int, ec, fc *color.Co
 	le.flSmooth = int64(p.NSmooth) * (ne*flops.SmoothEdge + nv64*flops.SmoothVert)
 	le.flUpdate = nv64 * flops.UpdateVert
 	le.flUpdateNext = nv64 * (flops.UpdateVert + flops.PresVert)
-	return le, nil
 }
 
 // colorSpans prebuilds the per-color per-worker chunk table of a coloring:
